@@ -1,0 +1,87 @@
+"""Shared plumbing for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure from the paper's
+evaluation section: it prints the same rows/series the paper reports plus
+a ``[paper-vs-measured]`` comparison block.  Accuracy experiments run the
+*live* pipeline (train tiny networks on the synthetic dataset); energy,
+latency and area experiments query the calibrated hardware models.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ci
+from repro.segmentation import ViTConfig, ViTSegmenter
+from repro.synth import DatasetConfig, GazeDynamicsConfig, SyntheticEyeDataset
+
+#: Common CI-scale experiment geometry (kept small so the whole harness
+#: finishes in minutes of pure-numpy compute).
+BENCH_HEIGHT = BENCH_WIDTH = 64
+#: Eye scale matching the paper's foreground-to-frame ratio (~13-20 % ROI).
+BENCH_EYE_SCALE = 0.6
+BENCH_SEQUENCES = 4
+BENCH_FRAMES = 24
+BENCH_EPOCHS = 6
+
+#: Livelier oculomotor statistics so short sequences still contain
+#: saccades and pursuits — otherwise a degenerate "predict the centre"
+#: tracker looks perfect and the accuracy figures lose their signal.
+BENCH_DYNAMICS = GazeDynamicsConfig(
+    fixation_mean_s=0.03,
+    pursuit_prob=0.3,
+    saccade_amplitude=(5.0, 20.0),
+)
+
+
+def bench_dataset(seed: int = 0, fps: float = 120.0) -> SyntheticEyeDataset:
+    return SyntheticEyeDataset(
+        DatasetConfig(
+            height=BENCH_HEIGHT,
+            width=BENCH_WIDTH,
+            fps=fps,
+            frames_per_sequence=BENCH_FRAMES,
+            num_sequences=BENCH_SEQUENCES,
+            seed=seed,
+            eye_scale=BENCH_EYE_SCALE,
+            dynamics=BENCH_DYNAMICS,
+        )
+    )
+
+
+def bench_vit(seed: int = 1) -> ViTSegmenter:
+    cfg = ViTConfig(
+        height=BENCH_HEIGHT,
+        width=BENCH_WIDTH,
+        patch=8,
+        dim=24,
+        heads=3,
+        depth=1,
+        decoder_depth=1,
+    )
+    return ViTSegmenter(cfg, np.random.default_rng(seed))
+
+
+def bench_pipeline_config(fps: float = 120.0, seed: int = 0):
+    from dataclasses import replace
+
+    config = ci(
+        seed=seed,
+        num_sequences=BENCH_SEQUENCES,
+        frames_per_sequence=BENCH_FRAMES,
+        fps=fps,
+    )
+    return replace(
+        config,
+        dataset=replace(
+            config.dataset, dynamics=BENCH_DYNAMICS, eye_scale=BENCH_EYE_SCALE
+        ),
+        joint=replace(config.joint, epochs=BENCH_EPOCHS),
+    )
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

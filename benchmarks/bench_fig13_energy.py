@@ -1,0 +1,101 @@
+"""Fig. 13 — per-frame energy of the four sensor-SoC designs at 120 FPS.
+
+Paper numbers: BlissCam saves 4.0x over NPU-Full, 1.6x over NPU-ROI and
+1.7x over S+NPU; S+NPU is ~1.1x *worse* than NPU-ROI because its digital
+frame buffer leaks; off-sensor work is ~60 % of NPU-Full; the seg-map
+backhaul and RLE overheads are 0.6 % and 0.04 % of BlissCam's total.
+
+The workload fractions (ROI size, sampled pixels, valid tokens) are
+*measured* by running the trained functional pipeline, then fed into the
+calibrated component-level energy model.
+"""
+
+from _helpers import bench_pipeline_config, once
+from repro.core import BlissCamPipeline, PaperComparison, Table
+from repro.hardware import SystemEnergyModel, VARIANTS, WorkloadProfile
+
+FPS = 120.0
+
+
+def run_fig13():
+    # Headline numbers use the paper-scale workload profile (640x400,
+    # 13.4 % ROI, 4.85 % sampled, 10.8 % tokens); the live pipeline's
+    # measured fractions are reported alongside.  At CI scale (64x64,
+    # patch 8) the eye covers a larger frame fraction, so the measured
+    # fractions are honest but not the paper's operating point.
+    pipeline = BlissCamPipeline(bench_pipeline_config(fps=FPS))
+    pipeline.train()
+    evaluation = pipeline.evaluate()
+    measured = evaluation.stats.to_profile(WorkloadProfile())
+    model = SystemEnergyModel()
+    paper_profile = WorkloadProfile()
+    breakdowns = {v: model.frame_energy(v, paper_profile, FPS) for v in VARIANTS}
+    measured_totals = {
+        v: model.frame_energy(v, measured, FPS).total for v in VARIANTS
+    }
+    return measured, breakdowns, measured_totals
+
+
+def test_fig13_energy(benchmark):
+    profile, breakdowns, measured_totals = once(benchmark, run_fig13)
+
+    components = sorted({k for b in breakdowns.values() for k in b.components})
+    table = Table(
+        ["component (uJ/frame)"] + list(VARIANTS),
+        title="Fig. 13 — energy breakdown at 120 FPS "
+        "(65 nm analog / 22 nm logic / 7 nm SoC)",
+    )
+    for comp in components:
+        table.add_row(
+            comp,
+            *(round(breakdowns[v].components.get(comp, 0.0) * 1e6, 2) for v in VARIANTS),
+        )
+    table.add_row(
+        "TOTAL", *(round(breakdowns[v].total * 1e6, 1) for v in VARIANTS)
+    )
+    print()
+    print(table.render())
+
+    full = breakdowns["NPU-Full"].total
+    bliss = breakdowns["BlissCam"].total
+    roi = breakdowns["NPU-ROI"].total
+    snpu = breakdowns["S+NPU"].total
+
+    cmp = PaperComparison("Fig. 13 @ 120 FPS")
+    cmp.add("BlissCam saving over NPU-Full (x)", 4.0, round(full / bliss, 2))
+    cmp.add("BlissCam saving over NPU-ROI (x)", 1.6, round(roi / bliss, 2))
+    cmp.add("BlissCam saving over S+NPU (x)", 1.7, round(snpu / bliss, 2))
+    cmp.add("S+NPU vs NPU-ROI (x, >1 is worse)", 1.1, round(snpu / roi, 2))
+    cmp.add(
+        "off-sensor share of NPU-Full (%)",
+        60.1,
+        round(100 * breakdowns["NPU-Full"].off_sensor / full, 1),
+    )
+    cmp.add(
+        "seg-map backhaul share of BlissCam (%)",
+        0.6,
+        round(100 * breakdowns["BlissCam"].fraction("seg_map_backhaul"), 2),
+    )
+    cmp.add(
+        "RLE share of BlissCam (%)",
+        0.04,
+        round(100 * breakdowns["BlissCam"].fraction("rle"), 3),
+    )
+    cmp.add(
+        "measured ROI fraction (frame)", 0.134, round(profile.roi_fraction, 3)
+    )
+    cmp.add(
+        "measured sampled fraction (frame)",
+        0.0485,
+        round(profile.sampled_fraction, 3),
+    )
+    cmp.add(
+        "saving with CI-measured fractions (x)",
+        "(smaller frame, bigger eye)",
+        round(measured_totals["NPU-Full"] / measured_totals["BlissCam"], 2),
+    )
+    print(cmp.render())
+
+    assert full > snpu > roi > bliss
+    assert 3.0 < full / bliss < 8.0
+    assert 1.0 < snpu / roi < 1.5

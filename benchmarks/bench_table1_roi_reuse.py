@@ -1,0 +1,92 @@
+"""Table I — sensitivity to the ROI reuse window.
+
+Paper claim: reusing a predicted ROI for 4 or 16 consecutive frames saves
+almost no energy (the ROI DNN is ~1 % of in-sensor energy) but measurably
+hurts accuracy and robustness (vertical error 0.25 -> 0.75 deg, std 0.15
+-> 0.69, for savings of at most 0.029 %) — so BlissCam predicts the ROI
+every frame.
+
+Error/std are measured live with the reuse policy active in the
+functional sensor; the energy delta comes from removing the skipped ROI
+DNN invocations from the model.
+"""
+
+from _helpers import bench_pipeline_config, once
+from repro.core import BlissCamPipeline, PaperComparison, Table
+from repro.hardware import SystemEnergyModel, WorkloadProfile
+
+REUSE_WINDOWS = [1, 4, 16]
+FPS = 120.0
+
+#: Paper's Table I rows: window -> (vertical error, std, energy saving %).
+PAPER_TABLE1 = {1: (0.25, 0.15, 0.0), 4: (0.49, 0.30, 0.023), 16: (0.75, 0.69, 0.029)}
+
+
+def run_table1():
+    pipeline = BlissCamPipeline(bench_pipeline_config(fps=FPS, seed=5))
+    pipeline.train()
+    model = SystemEnergyModel()
+
+    # Energy deltas use the paper-scale workload profile: at 640x400 the
+    # ROI DNN is a small share of the total, which is the whole point of
+    # Table I (reuse saves almost nothing).
+    paper_profile = WorkloadProfile()
+    rows = []
+    base_breakdown = None
+    for window in REUSE_WINDOWS:
+        evaluation = pipeline.evaluate(reuse_window=window)
+        breakdown = model.frame_energy("BlissCam", paper_profile, FPS)
+        # Reuse skips the ROI DNN on (window-1)/window of frames.
+        energy = breakdown.total - breakdown.components["roi_dnn_sensor"] * (
+            (window - 1) / window
+        )
+        if base_breakdown is None:
+            base_breakdown = energy
+        rows.append(
+            {
+                "window": window,
+                "vertical": evaluation.vertical.mean,
+                "std": evaluation.vertical.std,
+                "saving_pct": 100 * (base_breakdown - energy) / base_breakdown,
+            }
+        )
+    return rows
+
+
+def test_table1_roi_reuse(benchmark):
+    rows = once(benchmark, run_table1)
+
+    table = Table(
+        ["reuse window", "vertical err (deg)", "std", "energy saving (%)"],
+        title="Table I — ROI reuse window sensitivity",
+    )
+    for row in rows:
+        table.add_row(
+            row["window"],
+            round(row["vertical"], 2),
+            round(row["std"], 2),
+            round(row["saving_pct"], 3),
+        )
+    print()
+    print(table.render())
+
+    cmp = PaperComparison("Table I")
+    for row in rows:
+        paper_err, paper_std, paper_save = PAPER_TABLE1[row["window"]]
+        cmp.add(
+            f"window={row['window']}: err/std/saving",
+            f"{paper_err}/{paper_std}/{paper_save}%",
+            f"{row['vertical']:.2f}/{row['std']:.2f}/{row['saving_pct']:.2f}%",
+        )
+    print(cmp.render())
+
+    # The paper's conclusion: reuse is a bad trade — it cannot buy a
+    # large accuracy win, and the energy saving stays small.  At CI scale
+    # the error signal is noisy (a cached box can accidentally average
+    # out predictor jitter), so the error assertion is a band, not a
+    # strict ordering.
+    fresh, mid, stale = rows
+    assert 0.5 * fresh["vertical"] <= stale["vertical"] <= 2.5 * fresh["vertical"]
+    assert stale["saving_pct"] < 15.0
+    # Longer windows save (slightly) more energy.
+    assert fresh["saving_pct"] <= mid["saving_pct"] <= stale["saving_pct"]

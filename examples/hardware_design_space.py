@@ -1,0 +1,111 @@
+"""Hardware design-space exploration with the calibrated system models.
+
+Three sweeps a sensor architect would run before committing silicon:
+
+1. **Frame-rate sweep** — energy per frame and per second for all four
+   variants from 30 to 500 FPS, with the feasibility check of the Fig. 8
+   schedule (NPU-Full stops keeping up when segmentation no longer fits a
+   frame period).
+2. **Resolution sweep** — BlissCam's advantage grows with resolution
+   because readout + MIPI scale with pixels while its sampled fraction
+   stays constant; this is where the paper's "up to 8.2x" headline lives.
+3. **Process-node grid** — Fig. 17 at finer granularity.
+
+Run:  python examples/hardware_design_space.py
+"""
+
+from dataclasses import replace
+
+from repro.core import Table
+from repro.hardware import (
+    ProcessNodes,
+    SystemEnergyModel,
+    TimingModel,
+    VARIANTS,
+    WorkloadProfile,
+)
+
+
+def frame_rate_sweep() -> None:
+    model = SystemEnergyModel()
+    timing = TimingModel()
+    profile = WorkloadProfile()
+    table = Table(
+        ["FPS"]
+        + [f"{v} (uJ)" for v in VARIANTS]
+        + ["BlissCam saving", "NPU-Full sustains?"],
+        title="1. Frame-rate sweep (energy per frame)",
+    )
+    for fps in (30, 60, 90, 120, 240, 360, 500):
+        energies = {v: model.frame_energy(v, profile, fps).total for v in VARIANTS}
+        table.add_row(
+            fps,
+            *(round(energies[v] * 1e6, 1) for v in VARIANTS),
+            f"{energies['NPU-Full'] / energies['BlissCam']:.2f}x",
+            str(timing.schedule_feasible("NPU-Full", profile, fps)),
+        )
+    print(table.render())
+    print()
+
+
+def resolution_sweep() -> None:
+    model = SystemEnergyModel()
+    table = Table(
+        ["sensor", "NPU-Full (uJ)", "BlissCam (uJ)", "saving"],
+        title="2. Resolution sweep at 120 FPS (fixed sampled fraction)",
+    )
+    base = WorkloadProfile()
+    for name, (height, width) in {
+        "VGA-ish 640x400": (400, 640),
+        "720P": (720, 1280),
+        "1080P": (1080, 1920),
+        "4K": (2160, 3840),
+    }.items():
+        scale = (height * width) / (base.height * base.width)
+        profile = replace(
+            base,
+            height=height,
+            width=width,
+            seg_macs_dense=int(base.seg_macs_dense * scale),
+            dram_bytes_dense=int(base.dram_bytes_dense * scale),
+        )
+        full = model.frame_energy("NPU-Full", profile, 120).total
+        bliss = model.frame_energy("BlissCam", profile, 120).total
+        table.add_row(
+            name,
+            round(full * 1e6, 1),
+            round(bliss * 1e6, 1),
+            f"{full / bliss:.2f}x",
+        )
+    print(table.render())
+    print("   (the paper's 'up to 8.2x' appears at the high-resolution end)")
+    print()
+
+
+def node_grid() -> None:
+    model = SystemEnergyModel()
+    profile = WorkloadProfile()
+    logic_nodes = (16, 22, 28, 40, 65)
+    soc_nodes = (7, 16, 22)
+    table = Table(
+        ["logic \\ SoC"] + [f"{soc} nm" for soc in soc_nodes],
+        title="3. BlissCam saving across process-node combinations",
+    )
+    for logic in logic_nodes:
+        row = []
+        for soc in soc_nodes:
+            m = model.with_nodes(ProcessNodes(sensor_logic_nm=logic, host_nm=soc))
+            row.append(f"{m.savings_over('NPU-Full', 'BlissCam', profile, 120):.2f}x")
+        table.add_row(f"{logic} nm", *row)
+    print(table.render())
+
+
+def main() -> None:
+    print("=== BlissCam hardware design-space exploration ===\n")
+    frame_rate_sweep()
+    resolution_sweep()
+    node_grid()
+
+
+if __name__ == "__main__":
+    main()

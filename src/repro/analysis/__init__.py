@@ -1,0 +1,15 @@
+"""Ablation and sensitivity studies beyond the paper's headline figures."""
+
+from repro.analysis.ablations import (
+    joint_vs_separate,
+    normalization_ablation,
+    sampling_rate_sweep,
+    sigma_sensitivity,
+)
+
+__all__ = [
+    "sigma_sensitivity",
+    "normalization_ablation",
+    "joint_vs_separate",
+    "sampling_rate_sweep",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``quickstart``   train + evaluate the end-to-end pipeline (CI scale)
+``energy``       per-frame energy breakdown of the four variants
+``latency``      tracking-latency breakdown of the four variants
+``area``         Sec. VI-D area estimate
+``power``        headset power-budget report
+``sweep-fps``    energy saving vs frame rate
+``sweep-node``   energy saving vs process nodes
+
+All hardware commands accept ``--fps`` (default 120).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import BlissCamPipeline, Table, ci
+from repro.hardware import (
+    AreaModel,
+    ProcessNodes,
+    SystemEnergyModel,
+    TimingModel,
+    VARIANTS,
+    WorkloadProfile,
+)
+from repro.hardware.power_budget import HeadsetBudget
+
+__all__ = ["main"]
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    pipeline = BlissCamPipeline(ci())
+    print("training...")
+    pipeline.train()
+    result = pipeline.evaluate()
+    table = Table(["metric", "value"], title="quickstart results")
+    table.add_row("horizontal error (deg)", round(result.horizontal.mean, 2))
+    table.add_row("vertical error (deg)", round(result.vertical.mean, 2))
+    table.add_row("compression (x)", round(result.stats.mean_compression, 1))
+    table.add_row("ROI IoU", round(result.stats.mean_roi_iou, 2))
+    print(table.render())
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    model = SystemEnergyModel()
+    profile = WorkloadProfile()
+    table = Table(
+        ["variant", "total (uJ/frame)", "saving vs NPU-Full"],
+        title=f"energy @ {args.fps:g} FPS",
+    )
+    full = model.frame_energy("NPU-Full", profile, args.fps).total
+    for variant in VARIANTS:
+        total = model.frame_energy(variant, profile, args.fps).total
+        table.add_row(variant, round(total * 1e6, 1), f"{full / total:.2f}x")
+    print(table.render())
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    timing = TimingModel()
+    profile = WorkloadProfile()
+    table = Table(
+        ["variant", "latency (ms)", "sustains rate"],
+        title=f"tracking latency @ {args.fps:g} FPS",
+    )
+    for variant in VARIANTS:
+        lat = timing.tracking_latency(variant, profile, args.fps)
+        table.add_row(
+            variant,
+            round(lat.total * 1e3, 2),
+            str(timing.schedule_feasible(variant, profile, args.fps)),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    report = AreaModel().estimate(400, 640)
+    table = Table(["component", "mm^2"], title="area (640x400, 5 um pitch)")
+    table.add_row("pixel array", round(report.pixel_array_mm2, 2))
+    table.add_row("in-sensor NPU", report.in_sensor_npu_mm2)
+    table.add_row("output buffer + RLE", report.output_buffer_mm2)
+    table.add_row("TOTAL", round(report.total_mm2, 2))
+    print(table.render())
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    budget = HeadsetBudget()
+    table = Table(
+        ["variant", "power (mW, 2 eyes)", "budget share"],
+        title=f"headset budget @ {args.fps:g} FPS",
+    )
+    for variant in VARIANTS:
+        report = budget.report(variant, args.fps)
+        table.add_row(
+            variant,
+            round(report.power_w * 1e3, 1),
+            f"{report.budget_fraction:.1%}",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_sweep_fps(args: argparse.Namespace) -> int:
+    model = SystemEnergyModel()
+    profile = WorkloadProfile()
+    table = Table(["FPS", "BlissCam saving"], title="saving vs frame rate")
+    for fps in (30, 60, 120, 240, 500):
+        table.add_row(
+            fps,
+            f"{model.savings_over('NPU-Full', 'BlissCam', profile, fps):.2f}x",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_sweep_node(args: argparse.Namespace) -> int:
+    base = SystemEnergyModel()
+    profile = WorkloadProfile()
+    table = Table(
+        ["logic node", "7 nm SoC", "22 nm SoC"], title="saving vs process node"
+    )
+    for logic in (16, 22, 40, 65):
+        row = []
+        for soc in (7, 22):
+            model = base.with_nodes(
+                ProcessNodes(sensor_logic_nm=logic, host_nm=soc)
+            )
+            row.append(
+                f"{model.savings_over('NPU-Full', 'BlissCam', profile, args.fps):.2f}x"
+            )
+        table.add_row(f"{logic} nm", *row)
+    print(table.render())
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "energy": _cmd_energy,
+    "latency": _cmd_latency,
+    "area": _cmd_area,
+    "power": _cmd_power,
+    "sweep-fps": _cmd_sweep_fps,
+    "sweep-node": _cmd_sweep_node,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BlissCam reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        cmd = sub.add_parser(name)
+        cmd.add_argument("--fps", type=float, default=120.0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

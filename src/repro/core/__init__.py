@@ -1,0 +1,28 @@
+"""End-to-end BlissCam system: configuration, pipeline, variants, results."""
+
+from repro.core.config import SystemConfig, ci, paper
+from repro.core.pipeline import BlissCamPipeline, EvaluationResult, WorkloadStats
+from repro.core.results import PaperComparison, Table
+from repro.core.variants import (
+    StrategyEvaluation,
+    collect_sampled_dataset,
+    evaluate_strategy,
+    make_strategy,
+    train_for_strategy,
+)
+
+__all__ = [
+    "SystemConfig",
+    "ci",
+    "paper",
+    "BlissCamPipeline",
+    "EvaluationResult",
+    "WorkloadStats",
+    "Table",
+    "PaperComparison",
+    "StrategyEvaluation",
+    "make_strategy",
+    "collect_sampled_dataset",
+    "train_for_strategy",
+    "evaluate_strategy",
+]

@@ -1,0 +1,99 @@
+"""Named system configurations: CI scale and paper scale.
+
+Both profiles flow through identical code paths (DESIGN.md §6); only sizes
+differ.  ``ci()`` keeps pure-numpy training and evaluation in the seconds
+range so the test suite and benchmarks are practical; ``paper()`` is the
+faithful configuration of Sec. V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.segmentation.vit import ViTConfig
+from repro.synth.dataset import DatasetConfig
+from repro.training.joint import JointTrainConfig
+
+__all__ = ["SystemConfig", "ci", "paper"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build and train the end-to-end tracker."""
+
+    dataset: DatasetConfig
+    vit: ViTConfig
+    joint: JointTrainConfig
+    #: Channel width of the ROI predictor's first conv layer.
+    roi_base_channels: int = 4
+    #: Target compression rate (total / transmitted pixels; paper: 20.6x).
+    compression: float = 20.6
+    #: Safety margin (pixels) added around the predicted ROI before
+    #: sampling, absorbing small box-regression errors.
+    roi_margin_px: int = 1
+    seed: int = 0
+
+    @property
+    def height(self) -> int:
+        return self.dataset.height
+
+    @property
+    def width(self) -> int:
+        return self.dataset.width
+
+
+def ci(
+    seed: int = 0,
+    num_sequences: int = 4,
+    frames_per_sequence: int = 10,
+    fps: float = 120.0,
+) -> SystemConfig:
+    """Small configuration for tests, examples, and benches (64x64)."""
+    height = width = 64
+    return SystemConfig(
+        dataset=DatasetConfig(
+            height=height,
+            width=width,
+            fps=fps,
+            frames_per_sequence=frames_per_sequence,
+            num_sequences=num_sequences,
+            seed=seed,
+        ),
+        vit=ViTConfig(
+            height=height,
+            width=width,
+            patch=8,
+            dim=24,
+            heads=3,
+            depth=2,
+            decoder_depth=1,
+            mlp_ratio=2.0,
+        ),
+        joint=JointTrainConfig(epochs=2),
+        roi_base_channels=4,
+        compression=20.6,
+        seed=seed,
+    )
+
+
+def paper(seed: int = 0) -> SystemConfig:
+    """The faithful Sec. V configuration (640x400, ViT-12/2, 250 epochs).
+
+    Pure-numpy training at this scale takes hours per epoch; it exists to
+    document the target configuration and for spot checks.
+    """
+    return SystemConfig(
+        dataset=DatasetConfig(
+            height=400,
+            width=640,
+            fps=120.0,
+            frames_per_sequence=60,
+            num_sequences=32,
+            seed=seed,
+        ),
+        vit=ViTConfig.paper(height=400, width=640),
+        joint=JointTrainConfig(epochs=250, lr_segmenter=1e-3, lr_roi=1e-3),
+        roi_base_channels=8,
+        compression=20.6,
+        seed=seed,
+    )

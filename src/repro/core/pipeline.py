@@ -1,0 +1,291 @@
+"""The end-to-end BlissCam tracker: build, train, evaluate.
+
+:class:`BlissCamPipeline` wires every subsystem together:
+
+* the synthetic dataset (scene + optics + sensor noise),
+* the functional sensor (analog eventification, trained ROI predictor,
+  SRAM-RNG sampling, sparse readout, RLE),
+* the sparse ViT segmenter on the host,
+* the geometric gaze regressor,
+
+and measures both *accuracy* (per-axis angular error) and the *workload
+statistics* (ROI fraction, sampled fraction, valid-token fraction, RLE
+bytes) that parameterize the hardware energy/latency models — so the
+benchmark harness can feed measured numbers, not assumptions, into
+Figs. 13/14/16/17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaze.estimation import FittedGazeEstimator
+from repro.gaze.metrics import AngularErrorStats, angular_errors
+from repro.hardware.energy import WorkloadProfile
+from repro.hardware.sensor.sensor import BlissCamSensor
+from repro.sampling.roi import ROIPredictor, ROIReusePolicy, box_iou
+from repro.segmentation.vit import ViTSegmenter
+from repro.synth.dataset import SyntheticEyeDataset
+from repro.training.joint import JointTrainConfig, JointTrainer, JointTrainResult
+from repro.core.config import SystemConfig
+
+__all__ = ["BlissCamPipeline", "EvaluationResult", "WorkloadStats"]
+
+
+@dataclass
+class WorkloadStats:
+    """Measured per-frame statistics, averaged over an evaluation run."""
+
+    roi_fractions: list[float] = field(default_factory=list)
+    sampled_fractions: list[float] = field(default_factory=list)
+    valid_token_fractions: list[float] = field(default_factory=list)
+    transmitted_bytes: list[int] = field(default_factory=list)
+    rle_ratios: list[float] = field(default_factory=list)
+    roi_ious: list[float] = field(default_factory=list)
+
+    def record(self, *, roi_fraction, sampled_fraction, token_fraction,
+               tx_bytes, rle_ratio, roi_iou):
+        self.roi_fractions.append(roi_fraction)
+        self.sampled_fractions.append(sampled_fraction)
+        self.valid_token_fractions.append(token_fraction)
+        self.transmitted_bytes.append(tx_bytes)
+        self.rle_ratios.append(rle_ratio)
+        if roi_iou is not None:
+            self.roi_ious.append(roi_iou)
+
+    @property
+    def mean_roi_fraction(self) -> float:
+        return float(np.mean(self.roi_fractions)) if self.roi_fractions else 0.0
+
+    @property
+    def mean_sampled_fraction(self) -> float:
+        return (
+            float(np.mean(self.sampled_fractions))
+            if self.sampled_fractions
+            else 0.0
+        )
+
+    @property
+    def mean_valid_token_fraction(self) -> float:
+        return (
+            float(np.mean(self.valid_token_fractions))
+            if self.valid_token_fractions
+            else 0.0
+        )
+
+    @property
+    def mean_compression(self) -> float:
+        s = self.mean_sampled_fraction
+        return 1.0 / s if s > 0 else float("inf")
+
+    @property
+    def mean_roi_iou(self) -> float:
+        return float(np.mean(self.roi_ious)) if self.roi_ious else 0.0
+
+    def to_profile(self, base: WorkloadProfile | None = None) -> WorkloadProfile:
+        """A hardware :class:`WorkloadProfile` with measured fractions."""
+        from dataclasses import replace
+
+        base = base or WorkloadProfile()
+        return replace(
+            base,
+            roi_fraction=max(self.mean_roi_fraction, 1e-4),
+            sampled_fraction=max(self.mean_sampled_fraction, 1e-4),
+            valid_token_fraction=max(self.mean_valid_token_fraction, 1e-4),
+        )
+
+
+@dataclass
+class EvaluationResult:
+    """Accuracy + workload statistics of one evaluation run."""
+
+    horizontal: AngularErrorStats
+    vertical: AngularErrorStats
+    stats: WorkloadStats
+    predictions: np.ndarray  # (N, 2)
+    truths: np.ndarray  # (N, 2)
+
+    @property
+    def within_one_degree(self) -> bool:
+        """The paper's accuracy bar: both axes under 1 degree mean error.
+
+        At CI scale (64x64 frames, tiny ViT, few epochs) errors are larger
+        than the paper's; this property is still the right *criterion*.
+        """
+        return self.horizontal.mean < 1.0 and self.vertical.mean < 1.0
+
+
+class BlissCamPipeline:
+    """Build, jointly train, and evaluate the full system."""
+
+    def __init__(self, config: SystemConfig, rng: np.random.Generator | None = None):
+        self.config = config
+        self.rng = rng or np.random.default_rng(config.seed)
+        self.dataset = SyntheticEyeDataset(config.dataset)
+        self.roi_predictor = ROIPredictor(
+            config.height,
+            config.width,
+            self.rng,
+            base_channels=config.roi_base_channels,
+        )
+        self.segmenter = ViTSegmenter(config.vit, self.rng)
+        self.gaze_estimator = FittedGazeEstimator()
+        self._train_result: JointTrainResult | None = None
+
+    # -- training ------------------------------------------------------------
+    def train(self, train_indices: list[int] | None = None) -> JointTrainResult:
+        """Joint training (Sec. III-C) + gaze calibration."""
+        if train_indices is None:
+            train_indices, _ = self.dataset.split()
+        trainer = JointTrainer(
+            self.roi_predictor, self.segmenter, self.config.joint, self.rng
+        )
+        self._train_result = trainer.train(self.dataset, train_indices)
+        # Calibrate the gaze regression on ground-truth maps (per-user
+        # calibration in a real system).
+        segs, gazes = [], []
+        for idx in train_indices:
+            seq = self.dataset[idx]
+            segs.append(seq.segmentations)
+            gazes.append(seq.gazes)
+        self.gaze_estimator.fit(np.concatenate(segs), np.concatenate(gazes))
+        return self._train_result
+
+    def _typical_roi_fraction(self) -> float:
+        """Mean ground-truth foreground-box fraction over the first sequence."""
+        seq = self.dataset[0]
+        total = self.config.height * self.config.width
+        fractions = [
+            (b[2] - b[0]) * (b[3] - b[1]) / total
+            for b in seq.roi_boxes
+            if b is not None
+        ]
+        if not fractions:
+            return WorkloadProfile().roi_fraction
+        return float(np.mean(fractions))
+
+    # -- evaluation ----------------------------------------------------------
+    def build_sensor(self, seed: int = 1234) -> BlissCamSensor:
+        """A functional sensor wired to the trained ROI predictor.
+
+        The predicted box is expanded by ``config.roi_margin_px`` before
+        sampling — a safety margin absorbing small regression errors.  The
+        in-ROI sampling rate is derived from the dataset's typical ROI
+        size so the *frame-level* compression hits ``config.compression``.
+        """
+        in_roi_rate = min(
+            1.0,
+            1.0
+            / (self.config.compression * max(self._typical_roi_fraction(), 1e-6)),
+        )
+        height, width = self.config.height, self.config.width
+        margin = self.config.roi_margin_px
+
+        def predictor_with_margin(event_map, prev_seg):
+            from repro.sampling.roi import (
+                box_from_pixels,
+                box_to_pixels,
+                expand_box,
+            )
+
+            box = self.roi_predictor.predict_box(event_map, prev_seg)
+            pixel_box = box_to_pixels(box, height, width)
+            pixel_box = expand_box(pixel_box, margin, height, width)
+            return box_from_pixels(pixel_box, height, width)
+
+        return BlissCamSensor(
+            height,
+            width,
+            roi_predictor=predictor_with_margin,
+            sampling_rate=in_roi_rate,
+            seed=seed,
+        )
+
+    def evaluate(
+        self,
+        eval_indices: list[int] | None = None,
+        reuse_window: int = 1,
+        sensor_seed: int = 1234,
+    ) -> EvaluationResult:
+        """Run the functional sensor + host over held-out sequences.
+
+        ``reuse_window`` > 1 enables the Table-I ROI-reuse policy.
+        """
+        if not self.gaze_estimator.is_fitted:
+            raise RuntimeError("pipeline must be trained before evaluation")
+        if eval_indices is None:
+            _, eval_indices = self.dataset.split()
+        sensor = self.build_sensor(seed=sensor_seed)
+        reuse = ROIReusePolicy(window=reuse_window)
+        stats = WorkloadStats()
+        preds, truths = [], []
+        tokens_total = self.segmenter.config.tokens
+
+        for seq_index in eval_indices:
+            seq = self.dataset[seq_index]
+            sensor.reset()
+            reuse.reset()
+            prev_seg_pred: np.ndarray | None = None
+            for t in range(len(seq)):
+                if reuse_window > 1 and not reuse.should_predict():
+                    # Reuse the cached box: bypass the predictor inside the
+                    # sensor by temporarily pinning its output.
+                    cached = reuse.current()
+                    original = sensor.roi_predictor
+                    sensor.roi_predictor = lambda e, s, _c=cached: _c
+                    out = sensor.capture(seq.frames[t], prev_seg_pred)
+                    sensor.roi_predictor = original
+                    reuse.tick()
+                else:
+                    out = sensor.capture(seq.frames[t], prev_seg_pred)
+                    if out is not None:
+                        reuse.update(out.roi_box_norm)
+                if out is None:  # bootstrap frame
+                    continue
+                sparse, mask = sensor.host_decode(out)
+                # Packed inference: unsampled patches decode to background,
+                # which keeps hallucinated foreground out of the seg map
+                # fed back to the ROI predictor (and drops empty tokens,
+                # so host compute scales with the sampled volume).
+                seg_pred = self.segmenter.predict_packed(sparse, mask)
+                prev_seg_pred = seg_pred
+                gaze_pred = self.gaze_estimator.predict(seg_pred)
+                preds.append(gaze_pred)
+                truths.append(seq.gazes[t])
+
+                n = sparse.size
+                patch = self.segmenter.config.patch
+                token_mask = (
+                    mask.reshape(
+                        mask.shape[0] // patch, patch, mask.shape[1] // patch, patch
+                    )
+                    .any(axis=(1, 3))
+                )
+                gt_box = seq.roi_boxes[t]
+                stats.record(
+                    roi_fraction=(
+                        (out.roi_box[2] - out.roi_box[0])
+                        * (out.roi_box[3] - out.roi_box[1])
+                        / n
+                    ),
+                    sampled_fraction=out.sampled_pixels / n,
+                    token_fraction=token_mask.sum() / tokens_total,
+                    tx_bytes=out.transmitted_bytes,
+                    rle_ratio=out.rle_stats.compression_ratio,
+                    roi_iou=(
+                        box_iou(out.roi_box, gt_box) if gt_box is not None else None
+                    ),
+                )
+
+        predictions = np.array(preds)
+        truth_arr = np.array(truths)
+        horizontal, vertical = angular_errors(predictions, truth_arr)
+        return EvaluationResult(
+            horizontal=horizontal,
+            vertical=vertical,
+            stats=stats,
+            predictions=predictions,
+            truths=truth_arr,
+        )

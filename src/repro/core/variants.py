@@ -1,0 +1,189 @@
+"""Algorithm-level system variants and the strategy evaluation harness.
+
+Fig. 12 compares three pipeline variants (NPU-Full, NPU-ROI,
+NPU-ROI-Sample) across segmentation backbones; Fig. 15 compares seven
+sampling strategies under a common backbone.  Both reduce to the same
+harness: *train a segmenter on frames sampled by strategy S, then measure
+gaze error on held-out frames sampled by S*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaze.estimation import FittedGazeEstimator
+from repro.gaze.metrics import AngularErrorStats, angular_errors
+from repro.sampling.eventification import eventify
+from repro.sampling.strategies import (
+    FullDownsample,
+    FullRandom,
+    ROIDownsample,
+    ROIFixed,
+    ROILearned,
+    ROIRandom,
+    SamplingStrategy,
+    SkipStrategy,
+)
+from repro.synth.dataset import SyntheticEyeDataset
+from repro.synth.eye_model import SEG_CLASSES
+from repro.training.loop import train_segmentation
+
+__all__ = [
+    "StrategyEvaluation",
+    "make_strategy",
+    "collect_sampled_dataset",
+    "train_for_strategy",
+    "evaluate_strategy",
+]
+
+
+@dataclass
+class StrategyEvaluation:
+    """Gaze accuracy of one (strategy, segmenter) pair."""
+
+    strategy_name: str
+    horizontal: AngularErrorStats
+    vertical: AngularErrorStats
+    mean_compression: float
+    frames: int
+
+
+def make_strategy(name: str, compression: float, dataset=None) -> SamplingStrategy:
+    """Factory for the Fig. 15 strategy zoo by display name.
+
+    ``ROIFixed`` needs dataset statistics; pass the training dataset.
+    """
+    table = {
+        "Full+Random": lambda: FullRandom(compression),
+        "Full+DS": lambda: FullDownsample(compression),
+        "Skip": lambda: SkipStrategy(compression),
+        "ROI+DS": lambda: ROIDownsample(compression),
+        "ROI+Fixed": lambda: ROIFixed(compression),
+        "ROI+Learned": lambda: ROILearned(compression),
+        "Ours (ROI+Random)": lambda: ROIRandom(compression),
+    }
+    if name not in table:
+        raise ValueError(f"unknown strategy {name!r}; choose from {sorted(table)}")
+    strategy = table[name]()
+    if isinstance(strategy, ROIFixed):
+        if dataset is None:
+            raise ValueError("ROI+Fixed needs a dataset to fit its mask")
+        masks = np.concatenate(
+            [
+                (seq.segmentations != SEG_CLASSES["background"])
+                for seq in dataset
+            ]
+        )
+        strategy.fit(masks)
+    return strategy
+
+
+def _frame_decisions(
+    strategy: SamplingStrategy,
+    dataset: SyntheticEyeDataset,
+    indices: list[int],
+    rng: np.random.Generator,
+    use_gt_roi: bool = True,
+):
+    """Yield (decision, frame, seg_target, gaze, seq_index, t) per frame pair."""
+    for prev, cur, seg, gaze, gt_box, seq_index, t in dataset.frame_pairs(indices):
+        event_map = eventify(prev, cur)
+        roi_box = gt_box if use_gt_roi else None
+        decision = strategy.sample(cur, event_map, roi_box, rng)
+        yield decision, cur, seg, gaze, seq_index, t
+
+
+def collect_sampled_dataset(
+    strategy: SamplingStrategy,
+    dataset: SyntheticEyeDataset,
+    indices: list[int],
+    rng: np.random.Generator,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Build (sparse_frame, mask, target) training samples under a strategy."""
+    samples = []
+    for decision, _cur, seg, _gaze, _si, _t in _frame_decisions(
+        strategy, dataset, indices, rng
+    ):
+        if decision.reuse_previous:
+            continue  # SKIP transmits nothing; no training sample
+        samples.append((decision.sparse_frame, decision.mask, seg))
+    return samples
+
+
+def train_for_strategy(
+    segmenter,
+    strategy: SamplingStrategy,
+    dataset: SyntheticEyeDataset,
+    indices: list[int],
+    epochs: int,
+    rng: np.random.Generator,
+    lr: float = 3e-3,
+):
+    """Train ``segmenter`` on frames sampled by ``strategy``.
+
+    Stochastic strategies draw a *fresh* mask every epoch — the same
+    regime as the real sensor, whose SRAM RNG resamples each frame.  This
+    is what makes random sampling trainable at high compression: the
+    network sees many sparse views of each frame instead of one frozen
+    mask.
+    """
+    result = None
+    for _ in range(max(1, epochs)):
+        samples = collect_sampled_dataset(strategy, dataset, indices, rng)
+        if not samples:
+            raise ValueError("strategy produced no training samples")
+        epoch_result = train_segmentation(
+            segmenter, samples, epochs=1, rng=rng, lr=lr
+        )
+        if result is None:
+            result = epoch_result
+        else:
+            result.epoch_losses.extend(epoch_result.epoch_losses)
+    return result
+
+
+def evaluate_strategy(
+    strategy: SamplingStrategy,
+    segmenter,
+    dataset: SyntheticEyeDataset,
+    eval_indices: list[int],
+    rng: np.random.Generator,
+    gaze_estimator: FittedGazeEstimator | None = None,
+) -> StrategyEvaluation:
+    """Measure gaze error when the host sees ``strategy``-sampled frames.
+
+    The gaze estimator is calibrated on the evaluation sequences' ground
+    truth (per-user calibration); pass a pre-fit estimator to share it.
+    """
+    if gaze_estimator is None:
+        gaze_estimator = FittedGazeEstimator()
+        segs = np.concatenate([dataset[i].segmentations for i in eval_indices])
+        gazes = np.concatenate([dataset[i].gazes for i in eval_indices])
+        gaze_estimator.fit(segs, gazes)
+
+    preds, truths, compressions = [], [], []
+    prev_seg_pred: np.ndarray | None = None
+    for decision, _cur, _seg, gaze, _si, t in _frame_decisions(
+        strategy, dataset, eval_indices, rng
+    ):
+        if t == 1:
+            prev_seg_pred = None  # sequence boundary
+        if decision.reuse_previous and prev_seg_pred is not None:
+            seg_pred = prev_seg_pred
+        else:
+            seg_pred = segmenter.predict(decision.sparse_frame, decision.mask)
+            compressions.append(min(decision.compression, 1e6))
+        prev_seg_pred = seg_pred
+        preds.append(gaze_estimator.predict(seg_pred))
+        truths.append(gaze)
+
+    horizontal, vertical = angular_errors(np.array(preds), np.array(truths))
+    return StrategyEvaluation(
+        strategy_name=strategy.name,
+        horizontal=horizontal,
+        vertical=vertical,
+        mean_compression=float(np.mean(compressions)) if compressions else 1.0,
+        frames=len(preds),
+    )

@@ -1,0 +1,26 @@
+"""Gaze prediction from segmentation maps, plus angular-error metrics."""
+
+from repro.gaze.filtering import FilterConfig, KalmanGazeFilter
+from repro.gaze.estimation import (
+    FittedGazeEstimator,
+    GeometricGazeEstimator,
+    pupil_centroid,
+)
+from repro.gaze.metrics import (
+    AngularErrorStats,
+    angular_errors,
+    gaze_vector,
+    vector_angle_deg,
+)
+
+__all__ = [
+    "pupil_centroid",
+    "KalmanGazeFilter",
+    "FilterConfig",
+    "GeometricGazeEstimator",
+    "FittedGazeEstimator",
+    "AngularErrorStats",
+    "angular_errors",
+    "gaze_vector",
+    "vector_angle_deg",
+]

@@ -1,0 +1,106 @@
+"""Gaze prediction from segmentation maps (paper Sec. II-A).
+
+The paper's pipeline ends with a *regression model based on the geometric
+model of human eyes* that maps the segmentation map to a gaze vector; this
+stage is cheap compared to segmentation.  Two estimators are provided:
+
+* :class:`GeometricGazeEstimator` — inverts the known synthetic eye
+  geometry exactly (oracle calibration, used to isolate segmentation
+  error);
+* :class:`FittedGazeEstimator` — least-squares calibration of the
+  pupil-centroid -> gaze map from labelled frames, i.e. what a real system
+  does during its per-user calibration step.
+
+Both take the pupil centroid of the predicted segmentation; when the pupil
+is fully occluded (blink) they fall back to the iris, then to the previous
+estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synth.eye_model import SEG_CLASSES, EyeGeometry
+
+__all__ = ["pupil_centroid", "GeometricGazeEstimator", "FittedGazeEstimator"]
+
+
+def pupil_centroid(
+    segmentation: np.ndarray, min_pixels: int = 3
+) -> tuple[float, float] | None:
+    """Normalized (row, col) centroid of the pupil, iris as fallback.
+
+    Returns None when neither class has at least ``min_pixels`` pixels
+    (e.g. during a blink).  Coordinates are normalized by the image
+    *height*, matching :class:`~repro.synth.eye_model.EyeGeometry`.
+    """
+    height = segmentation.shape[0]
+    for cls in (SEG_CLASSES["pupil"], SEG_CLASSES["iris"]):
+        rows, cols = np.nonzero(segmentation == cls)
+        if rows.size >= min_pixels:
+            return (
+                float((rows.mean() + 0.5) / height),
+                float((cols.mean() + 0.5) / height),
+            )
+    return None
+
+
+class GeometricGazeEstimator:
+    """Invert the known eye geometry: centroid -> gaze, exactly."""
+
+    def __init__(self, geometry: EyeGeometry):
+        self.geometry = geometry
+        self._last: tuple[float, float] = (0.0, 0.0)
+
+    def predict(self, segmentation: np.ndarray) -> tuple[float, float]:
+        """Gaze ``(horizontal, vertical)`` in degrees."""
+        centroid = pupil_centroid(segmentation)
+        if centroid is None:
+            return self._last
+        gaze = self.geometry.gaze_from_pupil(*centroid)
+        self._last = gaze
+        return gaze
+
+
+class FittedGazeEstimator:
+    """Per-user linear calibration: least squares on (row, col, 1) -> gaze.
+
+    The linear map is exact for small angles (sin(theta) ~ theta) and a
+    close approximation over the +-25 degree cone the synthetic eye covers,
+    mirroring commercial calibration procedures.
+    """
+
+    def __init__(self):
+        self._coef: np.ndarray | None = None  # (3, 2)
+        self._last: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coef is not None
+
+    def fit(self, segmentations: np.ndarray, gazes: np.ndarray) -> None:
+        """Calibrate from (N, H, W) ground-truth maps and (N, 2) gazes."""
+        features, targets = [], []
+        for seg, gaze in zip(segmentations, gazes):
+            centroid = pupil_centroid(seg)
+            if centroid is None:
+                continue
+            features.append([centroid[0], centroid[1], 1.0])
+            targets.append(gaze)
+        if len(features) < 3:
+            raise ValueError(
+                f"need at least 3 frames with a visible pupil, got {len(features)}"
+            )
+        design = np.asarray(features)
+        self._coef, *_ = np.linalg.lstsq(design, np.asarray(targets), rcond=None)
+
+    def predict(self, segmentation: np.ndarray) -> tuple[float, float]:
+        if self._coef is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        centroid = pupil_centroid(segmentation)
+        if centroid is None:
+            return self._last
+        feat = np.array([centroid[0], centroid[1], 1.0])
+        gaze_h, gaze_v = feat @ self._coef
+        self._last = (float(gaze_h), float(gaze_v))
+        return self._last

@@ -1,0 +1,76 @@
+"""Gaze accuracy metrics: the angular errors reported in Figs. 12, 15, 16.
+
+The paper reports *vertical* and *horizontal* angular error separately
+(Fig. 12a/12b) with one-standard-deviation error bars, plus the 3-D
+angular error between unit gaze vectors for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AngularErrorStats", "angular_errors", "gaze_vector", "vector_angle_deg"]
+
+
+@dataclass(frozen=True)
+class AngularErrorStats:
+    """Summary of per-frame angular errors (degrees)."""
+
+    mean: float
+    std: float
+    median: float
+    p95: float
+    count: int
+
+    @staticmethod
+    def from_errors(errors: np.ndarray) -> "AngularErrorStats":
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size == 0:
+            raise ValueError("no errors to summarize")
+        return AngularErrorStats(
+            mean=float(errors.mean()),
+            std=float(errors.std()),
+            median=float(np.median(errors)),
+            p95=float(np.percentile(errors, 95)),
+            count=int(errors.size),
+        )
+
+
+def angular_errors(
+    predicted: np.ndarray, truth: np.ndarray
+) -> tuple[AngularErrorStats, AngularErrorStats]:
+    """Per-axis error stats from (N, 2) arrays of (horizontal, vertical) degrees.
+
+    Returns ``(horizontal_stats, vertical_stats)``.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if predicted.shape != truth.shape or predicted.ndim != 2 or predicted.shape[1] != 2:
+        raise ValueError(
+            f"expected matching (N, 2) arrays, got {predicted.shape} vs {truth.shape}"
+        )
+    abs_err = np.abs(predicted - truth)
+    return (
+        AngularErrorStats.from_errors(abs_err[:, 0]),
+        AngularErrorStats.from_errors(abs_err[:, 1]),
+    )
+
+
+def gaze_vector(gaze_h_deg: float, gaze_v_deg: float) -> np.ndarray:
+    """Unit 3-D gaze vector (x right, y up, z toward the scene)."""
+    h = np.deg2rad(gaze_h_deg)
+    v = np.deg2rad(gaze_v_deg)
+    vec = np.array([np.sin(h) * np.cos(v), np.sin(v), np.cos(h) * np.cos(v)])
+    return vec / np.linalg.norm(vec)
+
+
+def vector_angle_deg(
+    pred: tuple[float, float], truth: tuple[float, float]
+) -> float:
+    """3-D angular error between two (horizontal, vertical) gaze directions."""
+    a = gaze_vector(*pred)
+    b = gaze_vector(*truth)
+    cos = float(np.clip(np.dot(a, b), -1.0, 1.0))
+    return float(np.rad2deg(np.arccos(cos)))

@@ -1,0 +1,80 @@
+"""Area estimation (Sec. VI-D).
+
+The DPS is mostly analog, so the paper estimates area by analogy with
+published designs of similar bottom-layer complexity (Meta's 4.6 um pixel
+in 65 nm; Samsung's 4.95 um in 28 nm) and settles on a 5 um pixel pitch.
+At 640x400 that gives 6.4 mm^2 of pixel array, with the in-sensor NPU at
+0.4 mm^2 (~5.8 % overhead) and the output buffer + RLE at 0.1 mm^2; the
+hardware augmentation per pixel is ~12 SRAM-cell equivalents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.sensor.pixel import PixelCircuit
+
+__all__ = ["AreaModel", "AreaReport", "PUBLISHED_PIXELS"]
+
+#: Published stacked-DPS pixel pitches used to anchor the estimate:
+#: name -> (pitch um, process nm, bottom-layer inventory descriptor).
+PUBLISHED_PIXELS = {
+    "Meta stacked DPS [65]": (4.6, 65, "2 caps, 1 comparator, 28 T, 10 SRAM"),
+    "Samsung DPS [111]": (4.95, 28, "1 comparator, 1 amplifier, 22 SRAM"),
+}
+
+#: Area of one 6T SRAM cell in the 22 nm logic node (um^2).
+_SRAM_CELL_22NM_UM2 = 0.10
+#: BlissCam's per-pixel augmentation, in SRAM-cell equivalents (Sec. VI-D).
+_AUGMENTATION_SRAM_EQUIV = 12
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Component areas in mm^2."""
+
+    pixel_array_mm2: float
+    in_sensor_npu_mm2: float
+    output_buffer_mm2: float
+    augmentation_per_pixel_um2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.pixel_array_mm2 + self.in_sensor_npu_mm2 + self.output_buffer_mm2
+
+    @property
+    def npu_overhead_fraction(self) -> float:
+        """In-sensor NPU area as a fraction of the rest (paper: ~5.8 %)."""
+        base = self.pixel_array_mm2 + self.output_buffer_mm2
+        return self.in_sensor_npu_mm2 / base
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Pixel-pitch-based area estimation."""
+
+    pixel_pitch_um: float = 5.0
+    #: In-sensor NPU: 8x8 MAC array + 512 KB SRAM at 22 nm (paper: 0.4 mm^2).
+    npu_mm2: float = 0.4
+    #: Output buffer (shift register) + run-length encoder (paper: 0.1 mm^2).
+    output_buffer_mm2: float = 0.1
+
+    def estimate(
+        self, height: int, width: int, pixel: PixelCircuit | None = None
+    ) -> AreaReport:
+        """Area for a ``height x width`` sensor."""
+        if height < 1 or width < 1:
+            raise ValueError("resolution must be positive")
+        array_mm2 = height * width * (self.pixel_pitch_um * 1e-3) ** 2
+        return AreaReport(
+            pixel_array_mm2=array_mm2,
+            in_sensor_npu_mm2=self.npu_mm2,
+            output_buffer_mm2=self.output_buffer_mm2,
+            augmentation_per_pixel_um2=_AUGMENTATION_SRAM_EQUIV
+            * _SRAM_CELL_22NM_UM2,
+        )
+
+    def host_rle_decoder_fraction(self, host_area_mm2: float = 50.0) -> float:
+        """The host-side RLE decoder's share of SoC area (paper: < 0.1 %)."""
+        decoder_mm2 = 0.02
+        return decoder_mm2 / host_area_mm2

@@ -1,0 +1,124 @@
+"""Systolic-array NPU model: compute latency and energy for DNN workloads.
+
+The paper assumes (and claims no novelty for) two systolic arrays:
+
+* **host NPU** — 32x32 MACs at 1 GHz, 2 MB global buffer banked at
+  128 KB, in a 7 nm node;
+* **in-sensor NPU** — 8x8 MACs at 0.5 GHz with 512 KB SRAM, in the
+  sensor's 22 nm logic layer.
+
+Latency = MACs / (array throughput x utilization); energy = MACs x
+energy/MAC (node-scaled) + buffer traffic x energy/byte (node-scaled) +
+leakage power x active time.  The per-MAC and per-byte energies at the
+16 nm synthesis reference are standard published figures for 8-10-bit
+datapaths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import scaling
+
+__all__ = ["SystolicNPU", "host_npu", "in_sensor_npu"]
+
+# Reference costs at the 16 nm synthesis node.
+_MAC_ENERGY_16NM_J = 0.05e-12  # 8-bit MAC with high weight reuse
+_SRAM_ENERGY_16NM_J_PER_BYTE = 1.1e-12  # global-buffer access
+_LEAKAGE_16NM_W_PER_KB = 6e-6  # SRAM leakage per KB
+
+
+@dataclass(frozen=True)
+class SystolicNPU:
+    """A weight-stationary systolic array with a scratchpad buffer."""
+
+    rows: int
+    cols: int
+    clock_hz: float
+    buffer_kb: float
+    process_node_nm: float
+    #: Sustained fraction of peak MACs (dataflow + memory stalls).
+    utilization: float = 0.55
+    name: str = "npu"
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if not 0 < self.utilization <= 1:
+            raise ValueError(f"utilization must be in (0, 1]: {self.utilization}")
+        if self.clock_hz <= 0:
+            raise ValueError("clock must be positive")
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        return self.rows * self.cols * self.clock_hz
+
+    @property
+    def sustained_macs_per_s(self) -> float:
+        return self.peak_macs_per_s * self.utilization
+
+    def compute_latency(self, macs: int) -> float:
+        """Seconds to execute ``macs`` multiply-accumulates."""
+        if macs < 0:
+            raise ValueError(f"negative MAC count: {macs}")
+        return macs / self.sustained_macs_per_s
+
+    def mac_energy(self, macs: int) -> float:
+        """Dynamic energy of the MAC array."""
+        if macs < 0:
+            raise ValueError(f"negative MAC count: {macs}")
+        return macs * scaling.scale_energy(_MAC_ENERGY_16NM_J, self.process_node_nm)
+
+    def buffer_energy(self, num_bytes: int) -> float:
+        """Dynamic energy of scratchpad traffic."""
+        if num_bytes < 0:
+            raise ValueError(f"negative byte count: {num_bytes}")
+        return num_bytes * scaling.scale_energy(
+            _SRAM_ENERGY_16NM_J_PER_BYTE, self.process_node_nm
+        )
+
+    def leakage_power(self) -> float:
+        """Static power of the scratchpad (watts)."""
+        return self.buffer_kb * scaling.scale_leakage(
+            _LEAKAGE_16NM_W_PER_KB, self.process_node_nm
+        )
+
+    def workload_energy(
+        self, macs: int, buffer_bytes: int, active_time_s: float
+    ) -> float:
+        """Total energy of one workload invocation.
+
+        ``active_time_s`` is the window over which the scratchpad must stay
+        powered (usually the frame period for a pipelined accelerator).
+        """
+        if active_time_s < 0:
+            raise ValueError("active time must be non-negative")
+        return (
+            self.mac_energy(macs)
+            + self.buffer_energy(buffer_bytes)
+            + self.leakage_power() * active_time_s
+        )
+
+
+def host_npu(process_node_nm: float = 7.0) -> SystolicNPU:
+    """The paper's host accelerator: 32x32 @ 1 GHz, 2 MB buffer."""
+    return SystolicNPU(
+        rows=32,
+        cols=32,
+        clock_hz=1e9,
+        buffer_kb=2048.0,
+        process_node_nm=process_node_nm,
+        name="host-npu",
+    )
+
+
+def in_sensor_npu(process_node_nm: float = 22.0) -> SystolicNPU:
+    """The paper's in-sensor accelerator: 8x8 @ 0.5 GHz, 512 KB SRAM."""
+    return SystolicNPU(
+        rows=8,
+        cols=8,
+        clock_hz=0.5e9,
+        buffer_kb=512.0,
+        process_node_nm=process_node_nm,
+        name="in-sensor-npu",
+    )

@@ -1,0 +1,62 @@
+"""Single-slope ADC model (per-pixel quantization in the DPS).
+
+A 10-bit SS ADC sweeps a ramp over up to 1024 counter cycles; the
+comparator toggles when the ramp crosses the pixel value.  Sparse readout
+skips the conversion entirely for unsampled pixels ("If Skip ADC" logic),
+which is where BlissCam's readout-chain energy saving comes from.
+
+The per-conversion energy (comparator switching + counter + amortized ramp
+generator) is calibrated so a conventional full-frame sensor spends about
+two thirds of its power in the readout chain, the survey average of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SingleSlopeADC"]
+
+
+@dataclass(frozen=True)
+class SingleSlopeADC:
+    """Per-pixel 10-bit single-slope ADC."""
+
+    bit_depth: int = 10
+    #: Energy of one complete conversion (comparator + counter + ramp share).
+    conversion_energy_j: float = 180e-12
+    #: Counter clock; a full ramp takes 2**bit_depth cycles.
+    counter_clock_hz: float = 200e6
+    #: Energy for a skipped pixel (skip logic decision + zero output).
+    skip_energy_j: float = 0.4e-12
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bit_depth
+
+    @property
+    def conversion_time_s(self) -> float:
+        """Worst-case ramp duration (all per-pixel ADCs convert in parallel)."""
+        return self.levels / self.counter_clock_hz
+
+    def quantize(self, normalized, clamp_min_lsb: int = 0):
+        """Quantize normalized [0, 1] values to integer codes.
+
+        ``clamp_min_lsb`` lifts sampled-but-black pixels to at least that
+        code so the run-length coder can distinguish them from skipped
+        pixels (BlissCam applies a 1-LSB offset to sampled pixels).
+        """
+        import numpy as np
+
+        codes = np.round(np.clip(normalized, 0.0, 1.0) * (self.levels - 1))
+        if clamp_min_lsb:
+            codes = np.maximum(codes, clamp_min_lsb)
+        return codes.astype(np.int64)
+
+    def readout_energy(self, converted_pixels: int, skipped_pixels: int = 0) -> float:
+        """Energy of one readout pass."""
+        if converted_pixels < 0 or skipped_pixels < 0:
+            raise ValueError("pixel counts must be non-negative")
+        return (
+            converted_pixels * self.conversion_energy_j
+            + skipped_pixels * self.skip_energy_j
+        )

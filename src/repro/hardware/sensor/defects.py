@@ -1,0 +1,84 @@
+"""Pixel-defect model: dead, hot, and stuck pixels (failure injection).
+
+Real sensors ship with defective pixels (dark/bright/stuck columns), and
+an in-sensor differencing pipeline must tolerate them.  BlissCam is
+naturally robust to *static* defects: a dead or hot pixel never changes
+between frames, so it produces no events, never enters the ROI cue, and
+at worst wastes a sampled slot.  This module injects defects so tests and
+experiments can verify that robustness quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DefectMap"]
+
+
+@dataclass(frozen=True)
+class DefectMap:
+    """Static per-pixel defects applied to every frame."""
+
+    #: Boolean maps; a pixel should appear in at most one of them.
+    dead: np.ndarray  # reads 0 regardless of light
+    hot: np.ndarray  # reads full scale regardless of light
+    stuck: np.ndarray  # frozen at a fixed mid-scale value
+    stuck_value: float = 0.5
+
+    def __post_init__(self):
+        if not (self.dead.shape == self.hot.shape == self.stuck.shape):
+            raise ValueError("defect maps must share one shape")
+        overlap = (
+            (self.dead & self.hot) | (self.dead & self.stuck) | (self.hot & self.stuck)
+        )
+        if overlap.any():
+            raise ValueError("a pixel cannot have two defect types")
+        if not 0.0 <= self.stuck_value <= 1.0:
+            raise ValueError(f"stuck value must be in [0, 1]: {self.stuck_value}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.dead.shape
+
+    @property
+    def defect_count(self) -> int:
+        return int(self.dead.sum() + self.hot.sum() + self.stuck.sum())
+
+    @property
+    def any_defect(self) -> np.ndarray:
+        return self.dead | self.hot | self.stuck
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Return the frame as the defective array actually reports it."""
+        if frame.shape != self.shape:
+            raise ValueError(f"frame {frame.shape} != defects {self.shape}")
+        out = frame.copy()
+        out[self.dead] = 0.0
+        out[self.hot] = 1.0
+        out[self.stuck] = self.stuck_value
+        return out
+
+    @staticmethod
+    def random(
+        shape: tuple[int, int],
+        rng: np.random.Generator,
+        dead_fraction: float = 1e-3,
+        hot_fraction: float = 1e-3,
+        stuck_fraction: float = 0.0,
+    ) -> "DefectMap":
+        """Sample a defect map with the given per-type densities."""
+        total = dead_fraction + hot_fraction + stuck_fraction
+        if total > 0.5:
+            raise ValueError(f"defect fractions too high: {total}")
+        draw = rng.random(shape)
+        dead = draw < dead_fraction
+        hot = (draw >= dead_fraction) & (draw < dead_fraction + hot_fraction)
+        stuck = (draw >= dead_fraction + hot_fraction) & (draw < total)
+        return DefectMap(dead=dead, hot=hot, stuck=stuck)
+
+    @staticmethod
+    def none(shape: tuple[int, int]) -> "DefectMap":
+        zero = np.zeros(shape, dtype=bool)
+        return DefectMap(dead=zero, hot=zero.copy(), stuck=zero.copy())

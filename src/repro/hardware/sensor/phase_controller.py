@@ -1,0 +1,159 @@
+"""Analog phase sequencer: the per-frame switch schedule of Figs. 9/10.
+
+BlissCam time-multiplexes one comparator + two AZ capacitors per pixel
+between three roles — analog memory, switched-capacitor subtractor/
+thresholder, and single-slope ADC.  The paper's "new timing design"
+contribution is the schedule that steps every pixel through:
+
+====================  ====================================================
+``HOLD``              comparator in unity-gain feedback (``Hold`` closed);
+                      frame t-1 retained on ``Caz-`` during exposure of t
+``EVENTIFY_POS``      ``Hold`` open, ``Caz+`` tied to ``+sigma`` (Vth1);
+                      comparator output = (F_{t-1} - F_t > sigma)
+``EVENTIFY_NEG``      ``Caz+`` tied to ``-sigma`` (Vth2); second polarity
+``ROI_WAIT``          SRAM holds the event bit; in-sensor NPU runs;
+                      SRAM then power-cycles to harvest RNG bits
+``ADC``               sampled pixels only: ``Caz+`` receives the ramp,
+                      counter runs (skip logic grounds unsampled outputs)
+``READOUT``           column-sequential transfer to the output buffer
+====================  ====================================================
+
+The controller enforces legal transitions, tracks per-phase switch
+states, and accumulates per-phase dwell times so a frame's schedule can
+be validated against the frame period (the Fig. 8 constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Phase", "SwitchState", "PhaseController", "PHASE_SWITCHES"]
+
+
+class Phase(Enum):
+    HOLD = "hold"
+    EVENTIFY_POS = "eventify+sigma"
+    EVENTIFY_NEG = "eventify-sigma"
+    ROI_WAIT = "roi-wait"
+    ADC = "adc"
+    READOUT = "readout"
+
+
+@dataclass(frozen=True)
+class SwitchState:
+    """The red/blue switch settings of Fig. 9 for one phase."""
+
+    hold_closed: bool  # comparator feedback loop (analog buffer mode)
+    caz_plus_source: str  # "vth1" | "vth2" | "ramp" | "ref"
+    counter_enabled: bool
+    sram_powered: bool
+
+    def describe(self) -> str:
+        return (
+            f"Hold={'closed' if self.hold_closed else 'open'}, "
+            f"Caz+<-{self.caz_plus_source}, "
+            f"counter={'on' if self.counter_enabled else 'off'}, "
+            f"SRAM={'on' if self.sram_powered else 'gated'}"
+        )
+
+
+#: Circuit configuration per phase (Fig. 10's three panels + glue states).
+PHASE_SWITCHES: dict[Phase, SwitchState] = {
+    Phase.HOLD: SwitchState(True, "ref", False, False),
+    Phase.EVENTIFY_POS: SwitchState(False, "vth1", False, True),
+    Phase.EVENTIFY_NEG: SwitchState(False, "vth2", False, True),
+    Phase.ROI_WAIT: SwitchState(False, "ref", False, True),
+    Phase.ADC: SwitchState(False, "ramp", True, True),
+    Phase.READOUT: SwitchState(False, "ref", False, True),
+}
+
+#: Legal phase graph: the Fig. 8 per-frame order, with HOLD re-entered
+#: after readout (the new frame becomes the held frame).
+_LEGAL_NEXT: dict[Phase, tuple[Phase, ...]] = {
+    Phase.HOLD: (Phase.EVENTIFY_POS,),
+    Phase.EVENTIFY_POS: (Phase.EVENTIFY_NEG,),
+    Phase.EVENTIFY_NEG: (Phase.ROI_WAIT,),
+    Phase.ROI_WAIT: (Phase.ADC,),
+    Phase.ADC: (Phase.READOUT,),
+    Phase.READOUT: (Phase.HOLD,),
+}
+
+
+@dataclass
+class PhaseController:
+    """Steps the pixel array through the per-frame phase sequence."""
+
+    phase: Phase = Phase.HOLD
+    dwell_s: dict[Phase, float] = field(default_factory=dict)
+    _history: list[Phase] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._history.append(self.phase)
+
+    @property
+    def switches(self) -> SwitchState:
+        return PHASE_SWITCHES[self.phase]
+
+    @property
+    def history(self) -> tuple[Phase, ...]:
+        return tuple(self._history)
+
+    def advance(self, to: Phase, dwell_s: float) -> SwitchState:
+        """Transition to the next phase, recording time spent in it.
+
+        Raises on illegal transitions — the schedule bug a timing designer
+        wants to catch in simulation, not silicon.
+        """
+        if dwell_s < 0:
+            raise ValueError(f"negative dwell time: {dwell_s}")
+        if to not in _LEGAL_NEXT[self.phase]:
+            raise ValueError(
+                f"illegal transition {self.phase.value} -> {to.value}; "
+                f"legal: {[p.value for p in _LEGAL_NEXT[self.phase]]}"
+            )
+        self.dwell_s[to] = self.dwell_s.get(to, 0.0) + dwell_s
+        self.phase = to
+        self._history.append(to)
+        return self.switches
+
+    def run_frame(
+        self,
+        exposure_s: float,
+        eventify_s: float,
+        roi_s: float,
+        adc_s: float,
+        readout_s: float,
+    ) -> float:
+        """Execute one full frame schedule; returns total frame time.
+
+        Must be called with the controller in ``HOLD`` (the steady state
+        between frames).
+        """
+        if self.phase is not Phase.HOLD:
+            raise RuntimeError(
+                f"frame must start from HOLD, currently {self.phase.value}"
+            )
+        self.advance(Phase.EVENTIFY_POS, exposure_s)
+        self.advance(Phase.EVENTIFY_NEG, eventify_s / 2)
+        self.advance(Phase.ROI_WAIT, eventify_s / 2)
+        self.advance(Phase.ADC, roi_s)
+        self.advance(Phase.READOUT, adc_s)
+        self.advance(Phase.HOLD, readout_s)
+        return exposure_s + eventify_s + roi_s + adc_s + readout_s
+
+    def frames_completed(self) -> int:
+        """Number of complete frame cycles executed."""
+        return max(0, self._history.count(Phase.HOLD) - 1)
+
+    def validate_against_period(self, frame_period_s: float) -> bool:
+        """Does the accumulated per-frame schedule fit the frame period?
+
+        Checks the *average* frame time over completed frames — the
+        pipelined Fig. 8 constraint on sustained rate.
+        """
+        frames = self.frames_completed()
+        if frames == 0:
+            raise RuntimeError("no complete frames recorded")
+        total = sum(self.dwell_s.values())
+        return total / frames <= frame_period_s + 1e-12

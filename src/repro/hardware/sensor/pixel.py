@@ -1,0 +1,85 @@
+"""DPS pixel circuit model: component inventory and analog operation costs.
+
+Mirrors Fig. 9 / Sec. VI-D: each pixel has a 4T APS on the top layer
+(65 nm) and, on the bottom layer (22 nm analog), two 233 fF AZ capacitors,
+one comparator, 13 switching transistors, a 10-bit (6T) SRAM, and trivial
+digital logic (a 4-bit comparator, ~21 gates).  BlissCam's augmentation
+over a conventional DPS is 7 extra switches plus the "If Skip ADC" logic,
+estimated at ~12 SRAM-cell equivalents of area.
+
+Energy figures are per-pixel analog costs used by the system energy model;
+they are chosen so the composed sensor reproduces the paper's shares
+(readout ~2/3 of conventional sensor power, eventification/ROI overheads
+2-3 orders below a frame's energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PixelCircuit", "CONVENTIONAL_DPS", "BLISSCAM_DPS"]
+
+
+@dataclass(frozen=True)
+class PixelCircuit:
+    """Per-pixel circuit inventory and analog energy coefficients."""
+
+    name: str
+    #: Component counts on the bottom layer (Sec. VI-D).
+    capacitors: int
+    comparators: int
+    switch_transistors: int
+    sram_bits: int
+    logic_gates: int
+
+    #: Energy of one comparator decision (eventification threshold check).
+    comparator_event_energy_j: float = 55e-15
+    #: Power to hold the previous frame's value on the AZ capacitor with
+    #: the comparator in unity-gain buffer mode (analog memory retention).
+    analog_hold_power_w: float = 2.6e-9
+    #: Energy to transfer/settle one pixel onto the readout chain.
+    sample_transfer_energy_j: float = 20e-15
+    #: Exposure-time bias of the APS (photodiode + source follower).
+    exposure_bias_power_w: float = 1.1e-9
+
+    def eventification_energy(self, num_pixels: int) -> float:
+        """Energy of one full-array eventification (two threshold checks:
+        +sigma and -sigma applied sequentially through Vth1/Vth2)."""
+        if num_pixels < 0:
+            raise ValueError("negative pixel count")
+        return 2 * num_pixels * self.comparator_event_energy_j
+
+    def analog_memory_energy(self, num_pixels: int, hold_time_s: float) -> float:
+        """Retention energy for holding frame t-1 during frame t's exposure."""
+        if hold_time_s < 0:
+            raise ValueError("negative hold time")
+        return num_pixels * self.analog_hold_power_w * hold_time_s
+
+    def exposure_energy(self, num_pixels: int, exposure_s: float) -> float:
+        """Pixel-array bias energy over the exposure window."""
+        if exposure_s < 0:
+            raise ValueError("negative exposure")
+        return num_pixels * self.exposure_bias_power_w * exposure_s
+
+
+#: A conventional DPS bottom layer (e.g. the Meta stacked DPS [65]):
+#: ADC-only readout, no eventification/sampling support.
+CONVENTIONAL_DPS = PixelCircuit(
+    name="conventional-dps",
+    capacitors=2,
+    comparators=1,
+    switch_transistors=28,
+    sram_bits=10,
+    logic_gates=0,
+)
+
+#: BlissCam's augmented pixel (Fig. 9): +7 switches, 4-bit comparator and
+#: ~21 gates of skip logic; same capacitors/comparator/SRAM reused.
+BLISSCAM_DPS = PixelCircuit(
+    name="blisscam-dps",
+    capacitors=2,
+    comparators=1,
+    switch_transistors=13,
+    sram_bits=10,
+    logic_gates=21,
+)

@@ -1,0 +1,104 @@
+"""Sparse column-wise readout of the ROI (Fig. 11).
+
+The in-sensor NPU's ROI corners drive the row/column decoders: all rows
+between y1..y2 activate simultaneously, columns x1..x2 sequentially, so
+the output-buffer stream is **column-major over the ROI**.  Sampled pixels
+carry their quantized code; skipped pixels contribute 0 to the stream
+(compressed away by the run-length encoder downstream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SparseReadout", "ReadoutResult"]
+
+
+@dataclass(frozen=True)
+class ReadoutResult:
+    """One frame's readout: the column-major ROI stream and accounting."""
+
+    stream: np.ndarray  # 1-D int64 codes, column-major over the ROI
+    roi_box: tuple[int, int, int, int]
+    converted_pixels: int
+    skipped_pixels: int
+    #: Seconds to shift the ROI through the output buffer.
+    readout_time_s: float
+
+
+@dataclass(frozen=True)
+class SparseReadout:
+    """Column-sequential ROI readout with per-pixel skip."""
+
+    #: Column activation period: all rows of one column settle + shift out.
+    column_time_s: float = 120e-9
+    #: Fixed decoder/sequencer setup per frame.
+    setup_time_s: float = 2e-6
+
+    def read(
+        self,
+        codes: np.ndarray,
+        sample_mask: np.ndarray,
+        roi_box: tuple[int, int, int, int],
+    ) -> ReadoutResult:
+        """Extract the column-major sparse stream of the ROI.
+
+        Parameters
+        ----------
+        codes:
+            (H, W) integer pixel codes (already quantized for sampled
+            pixels; values at unsampled locations are ignored).
+        sample_mask:
+            (H, W) boolean; True where the pixel was sampled.
+        roi_box:
+            Pixel box (r0, c0, r1, c1), half-open.
+        """
+        if codes.shape != sample_mask.shape:
+            raise ValueError(
+                f"shape mismatch: {codes.shape} vs {sample_mask.shape}"
+            )
+        r0, c0, r1, c1 = roi_box
+        if not (0 <= r0 < r1 <= codes.shape[0] and 0 <= c0 < c1 <= codes.shape[1]):
+            raise ValueError(f"ROI {roi_box} outside frame {codes.shape}")
+        roi_codes = codes[r0:r1, c0:c1]
+        roi_mask = sample_mask[r0:r1, c0:c1]
+        sparse = np.where(roi_mask, roi_codes, 0)
+        # Column-major: Fig. 11 reads the ROI column by column.
+        stream = sparse.T.reshape(-1)
+        converted = int(np.count_nonzero(roi_mask))
+        total = roi_mask.size
+        time = self.setup_time_s + (c1 - c0) * self.column_time_s
+        return ReadoutResult(
+            stream=stream,
+            roi_box=roi_box,
+            converted_pixels=converted,
+            skipped_pixels=total - converted,
+            readout_time_s=time,
+        )
+
+    @staticmethod
+    def reconstruct(
+        stream: np.ndarray,
+        roi_box: tuple[int, int, int, int],
+        frame_shape: tuple[int, int],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Host-side inverse: stream -> (codes (H, W), mask (H, W)).
+
+        Pixels with code 0 inside the ROI are treated as unsampled (the
+        sensor lifts sampled pixels to >= 1 LSB before encoding).
+        """
+        r0, c0, r1, c1 = roi_box
+        height, width = frame_shape
+        rows, cols = r1 - r0, c1 - c0
+        if stream.size != rows * cols:
+            raise ValueError(
+                f"stream length {stream.size} does not match ROI {roi_box}"
+            )
+        roi = stream.reshape(cols, rows).T
+        codes = np.zeros(frame_shape, dtype=np.int64)
+        codes[r0:r1, c0:c1] = roi
+        mask = np.zeros(frame_shape, dtype=bool)
+        mask[r0:r1, c0:c1] = roi > 0
+        return codes, mask

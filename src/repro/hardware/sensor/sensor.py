@@ -1,0 +1,189 @@
+"""Functional BlissCam sensor: the complete in-sensor datapath (Sec. IV).
+
+Executes, bit-accurately where it matters, the per-frame sequence of
+Fig. 8/9/10/11:
+
+1. **exposure** — the caller provides the new analog frame (already
+   carrying photon shot noise from the scene simulation);
+2. **eventification** — the analog frame difference against the value
+   held on the AZ capacitor is compared with +/- sigma (two sequential
+   comparator decisions), with comparator offset noise;
+3. **ROI prediction** — a pluggable predictor (the trained
+   :class:`~repro.sampling.roi.ROIPredictor`) maps the event map plus the
+   fed-back previous segmentation map to a normalized box;
+4. **random sampling** — the SRAM power-up RNG and the 4-bit threshold
+   LUT decide, per pixel, whether to quantize;
+5. **sparse readout** — sampled pixels inside the ROI are quantized by
+   the SS ADC (lifted to >= 1 LSB), skipped pixels stream out as 0,
+   column-major;
+6. **run-length encoding** — the stream is compressed for MIPI.
+
+The host side (:meth:`host_decode`) decodes RLE and reconstructs the
+sparse frame + mask the segmentation network consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.hardware.sensor.adc import SingleSlopeADC
+from repro.hardware.sensor.pixel import BLISSCAM_DPS, PixelCircuit
+from repro.hardware.sensor.readout import ReadoutResult, SparseReadout
+from repro.hardware.sensor.rle import RleStats, RunLengthCodec
+from repro.hardware.sensor.sram_rng import SramPowerUpRNG, ThresholdLUT
+from repro.sampling.eventification import DEFAULT_SIGMA
+from repro.sampling.roi import box_to_pixels, order_box
+
+__all__ = ["BlissCamSensor", "SensorFrameOutput"]
+
+#: A predictor maps (event_map, prev_segmentation | None) -> normalized box.
+RoiPredictorFn = Callable[[np.ndarray, np.ndarray | None], np.ndarray]
+
+
+@dataclass
+class SensorFrameOutput:
+    """Everything the sensor emits for one frame, plus accounting."""
+
+    event_map: np.ndarray  # (H, W) bool
+    roi_box_norm: np.ndarray  # (4,) normalized
+    roi_box: tuple[int, int, int, int]  # pixel box
+    sample_mask: np.ndarray  # (H, W) bool — RNG decisions inside the ROI
+    readout: ReadoutResult
+    rle_tokens: list[tuple[str, int]]
+    rle_stats: RleStats
+
+    @property
+    def transmitted_bytes(self) -> int:
+        return self.rle_stats.encoded_bytes
+
+    @property
+    def sampled_pixels(self) -> int:
+        return self.readout.converted_pixels
+
+
+class BlissCamSensor:
+    """Stateful functional model of the augmented DPS."""
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        roi_predictor: RoiPredictorFn,
+        sampling_rate: float = 0.2,
+        sigma: float = DEFAULT_SIGMA,
+        pixel: PixelCircuit = BLISSCAM_DPS,
+        adc: SingleSlopeADC | None = None,
+        comparator_noise: float = 1.0 / 1023,
+        rng_variation: float = 0.25,
+        seed: int = 0,
+    ):
+        if not 0 < sampling_rate <= 1:
+            raise ValueError(f"sampling rate must be in (0, 1]: {sampling_rate}")
+        self.height = height
+        self.width = width
+        self.sigma = sigma
+        self.sampling_rate = sampling_rate
+        self.pixel = pixel
+        self.adc = adc or SingleSlopeADC()
+        self.readout_unit = SparseReadout()
+        self.codec = RunLengthCodec()
+        self.roi_predictor = roi_predictor
+        self.comparator_noise = comparator_noise
+        self._noise_rng = np.random.default_rng(seed)
+        self.sram_rng = SramPowerUpRNG(
+            height * width, variation=rng_variation, seed=seed + 1
+        )
+        self.lut: ThresholdLUT = self.sram_rng.calibrate()
+        self.theta = self.lut.theta_for_rate(sampling_rate)
+        #: Analog memory: frame t-1 held on the AZ capacitors.
+        self._held_frame: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Drop the held frame (e.g. at sequence boundaries)."""
+        self._held_frame = None
+
+    # -- stage models ------------------------------------------------------------
+    def _analog_eventify(self, frame: np.ndarray) -> np.ndarray:
+        """Comparator-based |F_t - F_{t-1}| > sigma with offset noise."""
+        held = self._held_frame
+        diff = frame - held
+        noise = self._noise_rng.normal(
+            0.0, self.comparator_noise, size=(2, *frame.shape)
+        )
+        # Two sequential decisions through Vth1/Vth2 (Fig. 9).
+        above = diff + noise[0] > self.sigma
+        below = diff + noise[1] < -self.sigma
+        return above | below
+
+    def capture(
+        self, frame: np.ndarray, prev_segmentation: np.ndarray | None
+    ) -> SensorFrameOutput | None:
+        """Process one exposure; returns None for the very first frame.
+
+        Parameters
+        ----------
+        frame:
+            The new analog frame, normalized [0, 1] (noise already applied
+            by the scene/optics simulation).
+        prev_segmentation:
+            The previous frame's segmentation map sent back from the host
+            over MIPI (the Fig. 8 cross-frame dependency); None when not
+            yet available.
+        """
+        if frame.shape != (self.height, self.width):
+            raise ValueError(
+                f"frame shape {frame.shape} != sensor {self.height}x{self.width}"
+            )
+        if self._held_frame is None:
+            # Bootstrap: hold the first frame; nothing to difference yet.
+            self._held_frame = frame.copy()
+            return None
+
+        event_map = self._analog_eventify(frame)
+        box_norm = order_box(
+            np.asarray(self.roi_predictor(event_map, prev_segmentation))
+        )
+        pixel_box = box_to_pixels(box_norm, self.height, self.width)
+
+        # SRAM power-up RNG decides sampling for every pixel; only those
+        # inside the ROI are read out.
+        rng_mask = self.sram_rng.sample_mask((self.height, self.width), self.theta)
+        sample_mask = np.zeros_like(rng_mask)
+        r0, c0, r1, c1 = pixel_box
+        sample_mask[r0:r1, c0:c1] = rng_mask[r0:r1, c0:c1]
+
+        # ADC only at sampled pixels; 1-LSB lift so RLE zeros mean "skipped".
+        codes = np.zeros((self.height, self.width), dtype=np.int64)
+        if sample_mask.any():
+            codes[sample_mask] = self.adc.quantize(
+                frame[sample_mask], clamp_min_lsb=1
+            )
+        readout = self.readout_unit.read(codes, sample_mask, pixel_box)
+        tokens, stats = self.codec.encode(readout.stream)
+
+        # The new frame replaces the held one for the next eventification.
+        self._held_frame = frame.copy()
+        return SensorFrameOutput(
+            event_map=event_map,
+            roi_box_norm=box_norm,
+            roi_box=pixel_box,
+            sample_mask=sample_mask,
+            readout=readout,
+            rle_tokens=tokens,
+            rle_stats=stats,
+        )
+
+    # -- host side ---------------------------------------------------------------
+    def host_decode(
+        self, output: SensorFrameOutput
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """RLE-decode and reconstruct ``(sparse_frame [0,1], mask)``."""
+        stream = self.codec.decode(output.rle_tokens)
+        codes, mask = SparseReadout.reconstruct(
+            stream, output.roi_box, (self.height, self.width)
+        )
+        sparse = codes.astype(np.float64) / (self.adc.levels - 1)
+        return sparse * mask, mask

@@ -1,0 +1,208 @@
+"""Pipeline timing: the Fig. 8 schedule, tracking latency, and FPS checks.
+
+Tracking latency (Fig. 1) is the delay from the *start of a frame's
+exposure* to the moment the gaze estimate for that frame is ready:
+
+``latency = exposure + [in-sensor stages] + readout + MIPI + segmentation
++ gaze``.
+
+BlissCam inserts three in-sensor stages (eventification, ROI prediction,
+sampling) between exposure and readout; to keep the frame rate fixed, the
+exposure is shortened by exactly the in-sensor overhead (the paper reports
+a 1.8 % exposure reduction at 120 FPS).  The Fig. 8 cross-frame dependency
+— frame t's ROI prediction needs frame t-1's segmentation map back from
+the host — is validated by :meth:`TimingModel.schedule_feasible`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.mipi import MipiLink
+from repro.hardware.npu import SystolicNPU, host_npu, in_sensor_npu
+from repro.hardware.energy import WorkloadProfile
+from repro.hardware.sensor.adc import SingleSlopeADC
+from repro.hardware.sensor.readout import SparseReadout
+from repro.synth.noise import DEFAULT_EXPOSURE_DUTY
+
+__all__ = ["LatencyBreakdown", "TimingModel", "ANALOG_EVENTIFICATION_S"]
+
+#: Analog eventification: two comparator decisions, array-parallel (paper: 5 us).
+ANALOG_EVENTIFICATION_S = 5e-6
+#: Digital eventification on the in-sensor logic (S+NPU): still parallel
+#: but needs SRAM reads; slightly slower than analog.
+DIGITAL_EVENTIFICATION_S = 12e-6
+#: SRAM power-up + popcount + threshold compare, array-parallel.
+SAMPLING_DECISION_S = 3e-6
+#: Fraction of the in-sensor ROI DNN runtime that overlaps the *next*
+#: frame's exposure: the global-shutter DPS top layer can expose frame t+1
+#: while the bottom-layer NPU crunches frame t's event map; only the
+#: analog-memory handoff (~20 % of the DNN window) serializes.  This puts
+#: the exposure reduction near the paper's 1.8 % at 120 FPS.
+ROI_OVERLAP_FRACTION = 0.8
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-frame latency (seconds) by stage, in pipeline order."""
+
+    variant: str
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    @property
+    def in_sensor_overhead(self) -> float:
+        keys = ("eventification", "roi_prediction", "sampling")
+        return sum(self.stages.get(k, 0.0) for k in keys)
+
+
+class TimingModel:
+    """End-to-end latency and frame-rate feasibility for all variants."""
+
+    def __init__(
+        self,
+        mipi: MipiLink | None = None,
+        adc: SingleSlopeADC | None = None,
+        host: SystolicNPU | None = None,
+        sensor_npu: SystolicNPU | None = None,
+        readout: SparseReadout | None = None,
+        exposure_duty: float = DEFAULT_EXPOSURE_DUTY,
+    ):
+        self.mipi = mipi or MipiLink()
+        self.adc = adc or SingleSlopeADC()
+        self.host = host or host_npu()
+        self.sensor_npu = sensor_npu or in_sensor_npu()
+        self.readout = readout or SparseReadout()
+        self.exposure_duty = exposure_duty
+
+    # -- stage latencies -----------------------------------------------------
+    def _readout_time(self, profile: WorkloadProfile, roi_only: bool) -> float:
+        """Column-sequential readout; per-pixel ADCs convert in parallel."""
+        cols = profile.width
+        if roi_only:
+            # ROI columns only; ROI aspect follows the frame.
+            cols = max(1, int(round(profile.width * profile.roi_fraction**0.5)))
+        return (
+            self.adc.conversion_time_s
+            + self.readout.setup_time_s
+            + cols * self.readout.column_time_s
+        )
+
+    def _mipi_time(self, profile: WorkloadProfile, variant: str) -> float:
+        n = profile.num_pixels
+        if variant in ("NPU-Full", "NPU-ROI"):
+            payload = self.mipi.frame_bytes(n)
+        else:
+            sampled = int(n * profile.sampled_fraction)
+            payload = int(
+                self.mipi.frame_bytes(sampled) * profile.rle_overhead
+            )
+        return self.mipi.transfer_latency(payload)
+
+    def _seg_time(self, profile: WorkloadProfile, variant: str) -> float:
+        return self.host.compute_latency(profile.seg_macs(variant))
+
+    def _gaze_time(self, profile: WorkloadProfile) -> float:
+        return self.host.compute_latency(profile.gaze_macs)
+
+    def roi_prediction_time(self, profile: WorkloadProfile, on_host: bool) -> float:
+        npu = self.host if on_host else self.sensor_npu
+        return npu.compute_latency(profile.roi_macs)
+
+    # -- end-to-end ----------------------------------------------------------
+    def tracking_latency(
+        self, variant: str, profile: WorkloadProfile, fps: float
+    ) -> LatencyBreakdown:
+        """Fig. 14: start-of-exposure to gaze-ready, per variant."""
+        if fps <= 0:
+            raise ValueError(f"fps must be positive: {fps}")
+        frame_period = 1.0 / fps
+        nominal_exposure = self.exposure_duty * frame_period
+        stages: dict[str, float] = {}
+
+        if variant == "NPU-Full":
+            stages["exposure"] = nominal_exposure
+            stages["readout"] = self._readout_time(profile, roi_only=False)
+        elif variant == "NPU-ROI":
+            stages["exposure"] = nominal_exposure
+            stages["readout"] = self._readout_time(profile, roi_only=False)
+            # Eventification + ROI DNN on the host overlap with MIPI of the
+            # *next* frame, but sit on this frame's critical path before
+            # segmentation can start.
+            stages["roi_prediction"] = self.roi_prediction_time(
+                profile, on_host=True
+            )
+        elif variant == "S+NPU":
+            roi_time = self.roi_prediction_time(profile, on_host=False)
+            overhead = (
+                DIGITAL_EVENTIFICATION_S
+                + (1.0 - ROI_OVERLAP_FRACTION) * roi_time
+                + SAMPLING_DECISION_S
+            )
+            stages["exposure"] = nominal_exposure - overhead
+            stages["eventification"] = DIGITAL_EVENTIFICATION_S
+            stages["roi_prediction"] = self.roi_prediction_time(
+                profile, on_host=False
+            )
+            stages["sampling"] = SAMPLING_DECISION_S
+            stages["readout"] = self._readout_time(profile, roi_only=True)
+        elif variant == "BlissCam":
+            roi_time = self.roi_prediction_time(profile, on_host=False)
+            overhead = (
+                ANALOG_EVENTIFICATION_S
+                + (1.0 - ROI_OVERLAP_FRACTION) * roi_time
+                + SAMPLING_DECISION_S
+            )
+            stages["exposure"] = nominal_exposure - overhead
+            stages["eventification"] = ANALOG_EVENTIFICATION_S
+            stages["roi_prediction"] = self.roi_prediction_time(
+                profile, on_host=False
+            )
+            stages["sampling"] = SAMPLING_DECISION_S
+            stages["readout"] = self._readout_time(profile, roi_only=True)
+        else:
+            raise ValueError(f"unknown variant: {variant}")
+
+        if stages["exposure"] <= 0:
+            raise ValueError(
+                f"in-sensor stages leave no exposure time at {fps} fps"
+            )
+        stages["mipi"] = self._mipi_time(profile, variant)
+        stages["segmentation"] = self._seg_time(profile, variant)
+        stages["gaze"] = self._gaze_time(profile)
+        return LatencyBreakdown(variant=variant, stages=stages)
+
+    def exposure_reduction(
+        self, variant: str, profile: WorkloadProfile, fps: float
+    ) -> float:
+        """Fractional exposure loss to in-sensor stages (paper: 1.8 %)."""
+        lat = self.tracking_latency(variant, profile, fps)
+        nominal = self.exposure_duty / fps
+        return 1.0 - lat.stages["exposure"] / nominal
+
+    def schedule_feasible(
+        self, variant: str, profile: WorkloadProfile, fps: float
+    ) -> bool:
+        """Can the Fig. 8 pipeline sustain the requested frame rate?
+
+        Every stage must fit within a frame period, and for the in-sensor
+        variants the previous frame's segmentation map must be back before
+        this frame's ROI prediction starts: ``mipi + seg + backhaul <=
+        frame_period`` (the backhaul shares the MIPI link and is tiny).
+        """
+        frame_period = 1.0 / fps
+        lat = self.tracking_latency(variant, profile, fps)
+        stage_fits = all(t <= frame_period for t in lat.stages.values())
+        if variant in ("S+NPU", "BlissCam"):
+            backhaul = self.mipi.transfer_latency(profile.seg_map_bytes)
+            dependency = (
+                lat.stages["mipi"]
+                + lat.stages["segmentation"]
+                + backhaul
+                + lat.in_sensor_overhead
+            )
+            return stage_fits and dependency <= frame_period
+        return stage_fits

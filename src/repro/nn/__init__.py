@@ -1,0 +1,62 @@
+"""A from-scratch numpy deep-learning framework.
+
+This subpackage substitutes for PyTorch in the BlissCam reproduction: it
+provides every building block the paper's networks need (convolutions,
+multi-head attention, layer/batch norm, GELU, cross-entropy/MSE losses,
+Adam/SGD) with full backpropagation, implemented purely in numpy.
+"""
+
+from repro.nn.activations import GELU, Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.attention import MLP, MultiHeadAttention, TransformerBlock
+from repro.nn.conv import (
+    AvgPool2d,
+    Conv2d,
+    DepthwiseConv2d,
+    MaxPool2d,
+    UpsampleNearest2d,
+)
+from repro.nn.layers import Dropout, Flatten, Linear, Residual
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.norm import BatchNorm2d, LayerNorm
+from repro.nn.optim import SGD, Adam, clip_grad_norm, cosine_schedule, step_schedule
+from repro.nn.quantize import dequantize_tensor, quantize_module, quantize_tensor
+from repro.nn.serialize import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Flatten",
+    "Dropout",
+    "Residual",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "UpsampleNearest2d",
+    "LayerNorm",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "GELU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "MultiHeadAttention",
+    "MLP",
+    "TransformerBlock",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "cosine_schedule",
+    "step_schedule",
+    "save_checkpoint",
+    "load_checkpoint",
+    "quantize_tensor",
+    "quantize_module",
+    "dequantize_tensor",
+]

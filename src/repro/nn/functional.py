@@ -1,0 +1,178 @@
+"""Stateless numerical kernels shared by the layer implementations.
+
+Everything here is a plain function over numpy arrays: im2col/col2im for
+convolution, numerically-stable softmax/log-softmax, GELU and its exact
+derivative, and small helpers (one-hot, patchify) used across the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "gelu_grad",
+    "sigmoid",
+    "one_hot",
+    "patchify",
+    "unpatchify",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(B, C, H, W)`` into convolution columns.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(B, C * kernel * kernel, OH * OW)``.
+    oh, ow:
+        Output spatial dimensions.
+    """
+    batch, channels, height, width = x.shape
+    oh = conv_output_size(height, kernel, stride, padding)
+    ow = conv_output_size(width, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    # Strided sliding-window view: (B, C, K, K, OH, OW)
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, kernel, kernel, oh, ow),
+        strides=(s[0], s[1], s[2], s[3], s[2] * stride, s[3] * stride),
+        writeable=False,
+    )
+    cols = windows.reshape(batch, channels * kernel * kernel, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to an image.
+
+    ``cols`` has shape ``(B, C * K * K, OH * OW)``; the result has
+    ``input_shape`` = ``(B, C, H, W)``.
+    """
+    batch, channels, height, width = input_shape
+    oh = conv_output_size(height, kernel, stride, padding)
+    ow = conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    cols = cols.reshape(batch, channels, kernel, kernel, oh, ow)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[
+                :,
+                :,
+                ki : ki + stride * oh : stride,
+                kj : kj + stride * ow : stride,
+            ] += cols[:, :, ki, kj]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU (as used in ViT MLP blocks)."""
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """Exact derivative of the tanh-approximated GELU."""
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels along a new trailing axis."""
+    labels = np.asarray(labels)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    flat = labels.reshape(-1)
+    out = np.zeros((flat.size, num_classes), dtype=np.float64)
+    out[np.arange(flat.size), flat] = 1.0
+    return out.reshape(*labels.shape, num_classes)
+
+
+def patchify(x: np.ndarray, patch: int) -> np.ndarray:
+    """Split ``(B, C, H, W)`` into non-overlapping patch tokens.
+
+    Returns ``(B, T, C * patch * patch)`` with ``T = (H // patch) * (W // patch)``.
+    H and W must be divisible by ``patch``.
+    """
+    batch, channels, height, width = x.shape
+    if height % patch or width % patch:
+        raise ValueError(f"image {height}x{width} not divisible by patch {patch}")
+    gh, gw = height // patch, width // patch
+    x = x.reshape(batch, channels, gh, patch, gw, patch)
+    x = x.transpose(0, 2, 4, 1, 3, 5)  # B, gh, gw, C, p, p
+    return x.reshape(batch, gh * gw, channels * patch * patch)
+
+
+def unpatchify(
+    tokens: np.ndarray, patch: int, channels: int, height: int, width: int
+) -> np.ndarray:
+    """Inverse of :func:`patchify`."""
+    batch, num_tokens, dim = tokens.shape
+    gh, gw = height // patch, width // patch
+    if num_tokens != gh * gw or dim != channels * patch * patch:
+        raise ValueError("token grid does not match the target image shape")
+    x = tokens.reshape(batch, gh, gw, channels, patch, patch)
+    x = x.transpose(0, 3, 1, 4, 2, 5)
+    return x.reshape(batch, channels, height, width)

@@ -1,0 +1,53 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so every
+network in the library is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_normal", "zeros", "truncated_normal"]
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform init; fan computed from the first two axes."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal init for ReLU-family activations."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def truncated_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02
+) -> np.ndarray:
+    """ViT-style truncated normal (resampled beyond 2 std)."""
+    out = rng.normal(0.0, std, size=shape)
+    bad = np.abs(out) > 2 * std
+    while bad.any():
+        out[bad] = rng.normal(0.0, std, size=int(bad.sum()))
+        bad = np.abs(out) > 2 * std
+    return out
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[float, float]:
+    if len(shape) == 1:
+        return float(shape[0]), float(shape[0])
+    if len(shape) == 2:
+        return float(shape[0]), float(shape[1])
+    # Conv weights (out, in, k, k): receptive field multiplies the fans.
+    receptive = float(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

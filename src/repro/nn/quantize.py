@@ -1,0 +1,71 @@
+"""Post-training 8-bit quantization of network weights.
+
+The hardware model assumes 8-bit datapaths on both NPUs (Sec. V's
+systolic arrays); this module provides the corresponding software-side
+check: symmetric per-tensor int8 quantization of every parameter, so the
+accuracy claims can be validated under the precision the energy numbers
+assume.
+
+``quantize_module`` is reversible (it returns the saved originals), so a
+test can measure the quantized/full-precision accuracy gap directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["quantize_tensor", "dequantize_tensor", "quantize_module", "QuantStats"]
+
+
+def quantize_tensor(
+    values: np.ndarray, bits: int = 8
+) -> tuple[np.ndarray, float]:
+    """Symmetric per-tensor quantization; returns (int codes, scale)."""
+    if bits < 2:
+        raise ValueError(f"need at least 2 bits: {bits}")
+    max_code = 2 ** (bits - 1) - 1
+    peak = float(np.max(np.abs(values))) if values.size else 0.0
+    if peak == 0.0:
+        return np.zeros_like(values, dtype=np.int32), 1.0
+    scale = peak / max_code
+    codes = np.clip(np.round(values / scale), -max_code - 1, max_code)
+    return codes.astype(np.int32), scale
+
+
+def dequantize_tensor(codes: np.ndarray, scale: float) -> np.ndarray:
+    return codes.astype(np.float64) * scale
+
+
+class QuantStats:
+    """Aggregate quantization error over a module."""
+
+    def __init__(self):
+        self.max_abs_error = 0.0
+        self.tensors = 0
+
+    def update(self, original: np.ndarray, reconstructed: np.ndarray) -> None:
+        if original.size:
+            self.max_abs_error = max(
+                self.max_abs_error, float(np.max(np.abs(original - reconstructed)))
+            )
+        self.tensors += 1
+
+
+def quantize_module(
+    module: Module, bits: int = 8
+) -> tuple[dict[str, np.ndarray], QuantStats]:
+    """Quantize every parameter of ``module`` in place.
+
+    Returns ``(originals, stats)``; restore with ``load_state_dict``
+    (the originals dict is a valid state dict).
+    """
+    originals: dict[str, np.ndarray] = {}
+    stats = QuantStats()
+    for name, param in module.named_parameters():
+        originals[name] = param.data.copy()
+        codes, scale = quantize_tensor(param.data, bits)
+        param.data[...] = dequantize_tensor(codes, scale)
+        stats.update(originals[name], param.data)
+    return originals, stats

@@ -1,0 +1,27 @@
+"""Checkpoint save/load for Module state dicts via ``numpy.savez``."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Write the module's state dict to ``path`` (.npz appended if absent)."""
+    state = module.state_dict()
+    # npz keys cannot be empty; dotted parameter names are fine.
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Load a state dict written by :func:`save_checkpoint` into ``module``."""
+    path = str(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    with np.load(path) as data:
+        module.load_state_dict({k: data[k] for k in data.files})

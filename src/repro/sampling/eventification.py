@@ -1,0 +1,115 @@
+"""Eventification: inter-frame differencing into a binary event map (Eqn. 1).
+
+``E_{t+1}(x, y) = Phi(|F_{t+1}(x, y) - F_t(x, y)|, sigma)`` where ``Phi``
+outputs 1 when the absolute difference exceeds the threshold ``sigma``.
+
+The paper empirically sets ``sigma = 15`` on the 8-bit pixel scale; frames
+in this library are normalized to [0, 1], so the default threshold is
+``15 / 255``.  Unlike a classic event camera, the difference is *not*
+normalized by the previous pixel value — the paper deliberately removes
+that division because it complicates the analog hardware without an
+accuracy benefit (Sec. VII, "Event Cameras").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SIGMA",
+    "eventify",
+    "eventify_normalized",
+    "event_density",
+    "event_recall",
+    "event_precision",
+]
+
+#: sigma = 15 digital numbers on the 8-bit scale, normalized.
+DEFAULT_SIGMA = 15.0 / 255.0
+
+
+def eventify(
+    prev_frame: np.ndarray, frame: np.ndarray, sigma: float = DEFAULT_SIGMA
+) -> np.ndarray:
+    """Binary event map of two consecutive frames.
+
+    Parameters
+    ----------
+    prev_frame, frame:
+        Same-shaped frames in [0, 1].
+    sigma:
+        Detection threshold on the absolute inter-frame difference.
+
+    Returns
+    -------
+    Boolean array, True where ``|frame - prev_frame| > sigma``.
+    """
+    if prev_frame.shape != frame.shape:
+        raise ValueError(
+            f"frame shape mismatch: {prev_frame.shape} vs {frame.shape}"
+        )
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative: {sigma}")
+    return np.abs(frame - prev_frame) > sigma
+
+
+def eventify_normalized(
+    prev_frame: np.ndarray,
+    frame: np.ndarray,
+    contrast_threshold: float = 0.15,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Classic event-camera detection: |dF| / F_prev > contrast threshold.
+
+    This is the *normalized* formulation BlissCam deliberately drops
+    (Sec. VII): dividing by the previous pixel value needs an analog
+    divider, complicating the hardware, and the paper finds no accuracy
+    benefit for eye tracking.  Provided for the ablation benchmark that
+    verifies that claim.
+    """
+    if prev_frame.shape != frame.shape:
+        raise ValueError(
+            f"frame shape mismatch: {prev_frame.shape} vs {frame.shape}"
+        )
+    if contrast_threshold < 0:
+        raise ValueError(f"threshold must be non-negative: {contrast_threshold}")
+    return np.abs(frame - prev_frame) / (np.abs(prev_frame) + eps) > (
+        contrast_threshold
+    )
+
+
+def event_density(event_map: np.ndarray) -> float:
+    """Fraction of pixels with an event — used by the SKIP baseline."""
+    if event_map.size == 0:
+        raise ValueError("empty event map")
+    return float(np.count_nonzero(event_map)) / event_map.size
+
+
+def event_recall(event_map: np.ndarray, foreground: np.ndarray) -> float:
+    """Fraction of foreground pixels covered by events' bounding box.
+
+    The events only need to *localize* the foreground (the ROI predictor
+    consumes them as a spatial cue), so the meaningful recall is measured
+    on the tight bounding box of the event map.
+    """
+    if event_map.shape != foreground.shape:
+        raise ValueError("shape mismatch")
+    fg_count = int(np.count_nonzero(foreground))
+    if fg_count == 0:
+        return 1.0
+    rows, cols = np.nonzero(event_map)
+    if rows.size == 0:
+        return 0.0
+    box = np.zeros_like(event_map)
+    box[rows.min() : rows.max() + 1, cols.min() : cols.max() + 1] = True
+    return float(np.count_nonzero(box & foreground)) / fg_count
+
+
+def event_precision(event_map: np.ndarray, foreground: np.ndarray) -> float:
+    """Fraction of events that fall on true foreground pixels."""
+    if event_map.shape != foreground.shape:
+        raise ValueError("shape mismatch")
+    total = int(np.count_nonzero(event_map))
+    if total == 0:
+        return 1.0
+    return float(np.count_nonzero(event_map & foreground)) / total

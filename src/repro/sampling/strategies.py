@@ -1,0 +1,278 @@
+"""The sampling-strategy zoo of Fig. 15.
+
+Seven ways to decide which pixels leave the sensor, all normalized to a
+common interface so the ablation benchmark can sweep compression rates:
+
+==================  =====================================================
+``FullRandom``      uniformly-at-random over the full frame (FULL+RANDOM)
+``FullDownsample``  regular-grid downsample of the full frame (FULL+DS)
+``SkipStrategy``    event-density gate: reuse the previous segmentation
+                    when the frame is quiet, else send everything (SKIP)
+``ROIDownsample``   regular grid restricted to the ROI (ROI+DS)
+``ROIFixed``        offline-overfit fixed mask from dataset statistics
+                    (ROI+FIXED)
+``ROILearned``      an extra learned network scores pixels, top-k selected
+                    (ROI+LEARNED)
+``ROIRandom``       random sampling inside the predicted ROI — **ours**
+==================  =====================================================
+
+Every strategy receives the *target compression rate* (total pixels over
+transmitted pixels) and translates it into its own internal rate; ROI-based
+strategies therefore sample more densely inside small ROIs, exactly like
+the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sampling import random_sampling as rs
+from repro.sampling.eventification import event_density
+
+__all__ = [
+    "SamplingDecision",
+    "SamplingStrategy",
+    "FullRandom",
+    "FullDownsample",
+    "SkipStrategy",
+    "ROIDownsample",
+    "ROIFixed",
+    "ROILearned",
+    "ROIRandom",
+    "STRATEGY_NAMES",
+]
+
+
+@dataclass
+class SamplingDecision:
+    """What the sensor decided to transmit for one frame."""
+
+    mask: np.ndarray  # (H, W) bool, True at transmitted pixels
+    sparse_frame: np.ndarray  # frame with unsampled pixels zeroed
+    roi_box: tuple[int, int, int, int] | None  # pixel box used, if any
+    #: True when the host should reuse the previous frame's segmentation
+    #: instead of running the network (SKIP baseline only).
+    reuse_previous: bool = False
+
+    @property
+    def transmitted_pixels(self) -> int:
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def compression(self) -> float:
+        return rs.effective_compression(self.mask)
+
+
+def _in_roi_rate(
+    frame_shape: tuple[int, int],
+    pixel_box: tuple[int, int, int, int],
+    compression: float,
+) -> float:
+    """In-ROI sampling rate that hits the frame-level compression target."""
+    total = frame_shape[0] * frame_shape[1]
+    area = max(1, (pixel_box[2] - pixel_box[0]) * (pixel_box[3] - pixel_box[1]))
+    return float(np.clip(total / (compression * area), 1e-6, 1.0))
+
+
+class SamplingStrategy:
+    """Base interface: produce a :class:`SamplingDecision` per frame."""
+
+    name = "base"
+
+    def __init__(self, compression: float):
+        if compression < 1.0:
+            raise ValueError(f"compression rate must be >= 1: {compression}")
+        self.compression = compression
+
+    def sample(
+        self,
+        frame: np.ndarray,
+        event_map: np.ndarray,
+        roi_box: tuple[int, int, int, int] | None,
+        rng: np.random.Generator,
+    ) -> SamplingDecision:
+        raise NotImplementedError
+
+    def _full_frame_box(self, frame: np.ndarray) -> tuple[int, int, int, int]:
+        return (0, 0, frame.shape[0], frame.shape[1])
+
+
+class FullRandom(SamplingStrategy):
+    """FULL+RANDOM: ignore the ROI, Bernoulli-sample the entire frame."""
+
+    name = "Full+Random"
+
+    def sample(self, frame, event_map, roi_box, rng):
+        mask = rs.random_mask(frame.shape, 1.0 / self.compression, rng)
+        return SamplingDecision(mask, rs.apply_mask(frame, mask), None)
+
+
+class FullDownsample(SamplingStrategy):
+    """FULL+DS: regular-grid downsample of the entire frame."""
+
+    name = "Full+DS"
+
+    def sample(self, frame, event_map, roi_box, rng):
+        mask = rs.uniform_grid_mask(frame.shape, 1.0 / self.compression)
+        return SamplingDecision(mask, rs.apply_mask(frame, mask), None)
+
+
+class SkipStrategy(SamplingStrategy):
+    """SKIP: reuse the previous result when the event density is low.
+
+    Emulates EdGaze's event-driven gate [49]: quiet frames transmit nothing
+    and the host reuses the previous segmentation; active frames transmit
+    the full frame.  The density threshold is derived from the compression
+    target: to average a compression of C, roughly (1 - 1/C) of frames must
+    be skipped, so the threshold adapts online to the running skip rate.
+    """
+
+    name = "Skip"
+
+    def __init__(self, compression: float, density_threshold: float | None = None):
+        super().__init__(compression)
+        self.density_threshold = (
+            density_threshold if density_threshold is not None else 0.01
+        )
+        self._frames_seen = 0
+        self._frames_sent = 0
+
+    def sample(self, frame, event_map, roi_box, rng):
+        self._frames_seen += 1
+        target_send_rate = 1.0 / self.compression
+        sent_rate = self._frames_sent / max(1, self._frames_seen)
+        # Adaptive gate: lean toward sending when under budget.
+        threshold = self.density_threshold * (
+            2.0 if sent_rate > target_send_rate else 0.5
+        )
+        if event_density(event_map) < threshold:
+            mask = np.zeros(frame.shape, dtype=bool)
+            return SamplingDecision(
+                mask, np.zeros_like(frame), None, reuse_previous=True
+            )
+        self._frames_sent += 1
+        mask = np.ones(frame.shape, dtype=bool)
+        return SamplingDecision(mask, frame.copy(), self._full_frame_box(frame))
+
+
+class ROIDownsample(SamplingStrategy):
+    """ROI+DS: regular grid restricted to the predicted ROI."""
+
+    name = "ROI+DS"
+
+    def sample(self, frame, event_map, roi_box, rng):
+        box = roi_box or self._full_frame_box(frame)
+        rate = _in_roi_rate(frame.shape, box, self.compression)
+        mask = rs.uniform_mask_in_box(frame.shape, box, rate)
+        return SamplingDecision(mask, rs.apply_mask(frame, mask), box)
+
+
+@dataclass
+class ROIFixed(SamplingStrategy):
+    """ROI+FIXED: a single mask overfit offline to dataset statistics.
+
+    :meth:`fit` accumulates the average foreground-probability map over a
+    training set; sampling always transmits the top-K most-often-foreground
+    pixels, regardless of where the eye actually is this frame.
+    """
+
+    compression: float
+    _prob_map: np.ndarray | None = field(default=None, repr=False)
+    name = "ROI+Fixed"
+
+    def __post_init__(self):
+        SamplingStrategy.__init__(self, self.compression)
+
+    def fit(self, foreground_masks: np.ndarray) -> None:
+        """``foreground_masks``: (N, H, W) boolean ground-truth foreground."""
+        if foreground_masks.ndim != 3:
+            raise ValueError("expected a (N, H, W) stack of masks")
+        self._prob_map = foreground_masks.astype(np.float64).mean(axis=0)
+
+    def sample(self, frame, event_map, roi_box, rng):
+        if self._prob_map is None:
+            raise RuntimeError("ROIFixed must be fit() before sampling")
+        budget = max(1, int(round(frame.size / self.compression)))
+        flat = self._prob_map.ravel()
+        # Deterministic top-K by probability; ties broken by pixel index.
+        top = np.argpartition(-flat, min(budget, flat.size - 1))[:budget]
+        mask = np.zeros(frame.size, dtype=bool)
+        mask[top] = True
+        mask = mask.reshape(frame.shape)
+        return SamplingDecision(mask, rs.apply_mask(frame, mask), None)
+
+
+class ROILearned(SamplingStrategy):
+    """ROI+LEARNED: an additional network predicts which pixels to sample.
+
+    The paper implements this with an extra in-sensor ViT and finds the
+    accuracy comparable to random sampling but the hardware cost
+    intolerable.  Here the scorer is any callable mapping a frame to a
+    per-pixel importance map (the default uses the event map blurred by a
+    box filter as a stand-in for a trained scorer; a trained
+    :class:`~repro.sampling.roi.ROIPredictor`-style scorer can be plugged
+    in).  Top-K pixels inside the ROI are transmitted.
+    """
+
+    name = "ROI+Learned"
+
+    def __init__(self, compression: float, scorer=None):
+        super().__init__(compression)
+        self.scorer = scorer
+
+    @staticmethod
+    def _default_score(frame: np.ndarray, event_map: np.ndarray) -> np.ndarray:
+        # Box-blurred event density: a cheap learned-importance surrogate.
+        kernel = 5
+        padded = np.pad(event_map.astype(np.float64), kernel // 2, mode="edge")
+        out = np.zeros_like(event_map, dtype=np.float64)
+        for dr in range(kernel):
+            for dc in range(kernel):
+                out += padded[
+                    dr : dr + event_map.shape[0], dc : dc + event_map.shape[1]
+                ]
+        return out
+
+    def sample(self, frame, event_map, roi_box, rng):
+        box = roi_box or self._full_frame_box(frame)
+        if self.scorer is not None:
+            scores = self.scorer(frame, event_map)
+        else:
+            scores = self._default_score(frame, event_map)
+        scores = scores + rng.random(scores.shape) * 1e-9  # tie breaking
+        region = np.full(frame.shape, -np.inf)
+        r0, c0, r1, c1 = box
+        region[r0:r1, c0:c1] = scores[r0:r1, c0:c1]
+        budget = max(1, int(round(frame.size / self.compression)))
+        flat = region.ravel()
+        top = np.argpartition(-flat, min(budget, flat.size - 1))[:budget]
+        mask = np.zeros(frame.size, dtype=bool)
+        mask[top] = True
+        mask &= np.isfinite(flat)
+        mask = mask.reshape(frame.shape)
+        return SamplingDecision(mask, rs.apply_mask(frame, mask), box)
+
+
+class ROIRandom(SamplingStrategy):
+    """Ours: pseudo-random sampling inside the predicted ROI (Sec. III-A)."""
+
+    name = "Ours (ROI+Random)"
+
+    def sample(self, frame, event_map, roi_box, rng):
+        box = roi_box or self._full_frame_box(frame)
+        rate = _in_roi_rate(frame.shape, box, self.compression)
+        mask = rs.random_mask_in_box(frame.shape, box, rate, rng)
+        return SamplingDecision(mask, rs.apply_mask(frame, mask), box)
+
+
+STRATEGY_NAMES = [
+    FullRandom.name,
+    FullDownsample.name,
+    SkipStrategy.name,
+    ROIDownsample.name,
+    ROIFixed.name,
+    ROILearned.name,
+    ROIRandom.name,
+]

@@ -1,0 +1,22 @@
+"""Eye segmentation networks: the sparse-input ViT and CNN baselines."""
+
+from repro.segmentation.edgaze import EdGazeNet
+from repro.segmentation.metrics import (
+    confusion_matrix,
+    mean_iou,
+    per_class_iou,
+    pixel_accuracy,
+)
+from repro.segmentation.ritnet import RITNet
+from repro.segmentation.vit import ViTConfig, ViTSegmenter
+
+__all__ = [
+    "ViTConfig",
+    "ViTSegmenter",
+    "RITNet",
+    "EdGazeNet",
+    "per_class_iou",
+    "mean_iou",
+    "pixel_accuracy",
+    "confusion_matrix",
+]

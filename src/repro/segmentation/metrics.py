@@ -1,0 +1,50 @@
+"""Segmentation quality metrics: per-class IoU, mIoU, pixel accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synth.eye_model import NUM_CLASSES
+
+__all__ = ["per_class_iou", "mean_iou", "pixel_accuracy", "confusion_matrix"]
+
+
+def confusion_matrix(
+    pred: np.ndarray, target: np.ndarray, num_classes: int = NUM_CLASSES
+) -> np.ndarray:
+    """(K, K) matrix; rows are ground truth, columns predictions."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    idx = target.astype(np.int64).ravel() * num_classes + pred.astype(np.int64).ravel()
+    counts = np.bincount(idx, minlength=num_classes * num_classes)
+    return counts.reshape(num_classes, num_classes)
+
+
+def per_class_iou(
+    pred: np.ndarray, target: np.ndarray, num_classes: int = NUM_CLASSES
+) -> np.ndarray:
+    """IoU for each class; NaN for classes absent from both maps."""
+    cm = confusion_matrix(pred, target, num_classes)
+    inter = np.diag(cm).astype(np.float64)
+    union = cm.sum(axis=0) + cm.sum(axis=1) - inter
+    with np.errstate(invalid="ignore", divide="ignore"):
+        iou = inter / union
+    iou[union == 0] = np.nan
+    return iou
+
+
+def mean_iou(
+    pred: np.ndarray, target: np.ndarray, num_classes: int = NUM_CLASSES
+) -> float:
+    """Mean IoU over present classes."""
+    iou = per_class_iou(pred, target, num_classes)
+    present = ~np.isnan(iou)
+    if not present.any():
+        return float("nan")
+    return float(iou[present].mean())
+
+
+def pixel_accuracy(pred: np.ndarray, target: np.ndarray) -> float:
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.mean(pred == target))

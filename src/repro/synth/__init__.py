@@ -1,0 +1,38 @@
+"""Synthetic near-eye imagery: the offline substitution for OpenEDS.
+
+Provides a parametric eye model, oculomotor gaze dynamics (fixations,
+saccades up to ~700 deg/s, blinks), a deterministic rasterizer producing
+frames + segmentation maps + gaze labels, and a physical sensor noise model
+(photon shot noise scaling with exposure time).
+"""
+
+from repro.synth.dataset import DatasetConfig, EyeSequence, SyntheticEyeDataset
+from repro.synth.eye_model import NUM_CLASSES, SEG_CLASSES, EyeGeometry, EyeState
+from repro.synth.gaze_dynamics import (
+    GazeDynamicsConfig,
+    GazeSequenceGenerator,
+    main_sequence_peak_velocity,
+)
+from repro.synth.noise import NoiseConfig, SensorNoiseModel, exposure_for_fps
+from repro.synth.openeds_adapter import OpenEDSAdapter, write_sequence_archive
+from repro.synth.renderer import EyeRenderer, RenderedFrame
+
+__all__ = [
+    "EyeGeometry",
+    "EyeState",
+    "SEG_CLASSES",
+    "NUM_CLASSES",
+    "GazeDynamicsConfig",
+    "GazeSequenceGenerator",
+    "main_sequence_peak_velocity",
+    "EyeRenderer",
+    "RenderedFrame",
+    "NoiseConfig",
+    "SensorNoiseModel",
+    "exposure_for_fps",
+    "DatasetConfig",
+    "EyeSequence",
+    "SyntheticEyeDataset",
+    "OpenEDSAdapter",
+    "write_sequence_archive",
+]

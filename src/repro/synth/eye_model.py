@@ -1,0 +1,163 @@
+"""Parametric geometric model of a near-eye camera view.
+
+This is the core of the OpenEDS substitution (DESIGN.md §2): a simplified
+but physically-motivated model of what a headset-mounted IR eye camera sees.
+It captures exactly the properties BlissCam's algorithms exploit:
+
+* the *background* (skin, eyelids at rest) is **static** — the camera is
+  rigidly mounted relative to the face (Sec. III-A's key observation);
+* the *foreground* (pupil, iris, sclera boundary, eyelids during blinks)
+  moves with gaze and produces inter-frame intensity changes;
+* the pupil position is a smooth, invertible function of the gaze angles,
+  so a geometric regression can recover gaze from segmentation (Sec. II-A).
+
+Angles are in degrees; image coordinates are ``(row, col)`` with row 0 at
+the top.  Gaze ``(horizontal, vertical)`` of (0, 0) looks straight into the
+camera.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EyeGeometry", "EyeState", "SEG_CLASSES", "NUM_CLASSES"]
+
+#: Segmentation label convention, matching OpenEDS' four classes.
+SEG_CLASSES = {"background": 0, "sclera": 1, "iris": 2, "pupil": 3}
+NUM_CLASSES = len(SEG_CLASSES)
+
+
+@dataclass(frozen=True)
+class EyeGeometry:
+    """Per-subject geometry of the eye as seen by the near-eye camera.
+
+    All lengths are fractions of the image *height* so the same geometry
+    renders consistently at any resolution (64x64 CI frames or the paper's
+    640x400 sensor).
+    """
+
+    #: Eye-socket centre in normalized (row, col) coordinates.
+    center: tuple[float, float] = (0.5, 0.5)
+    #: Projected eyeball radius; controls how far the pupil travels per degree.
+    eyeball_radius: float = 0.42
+    #: Sclera (visible eye opening) half-axes (vertical, horizontal).
+    sclera_axes: tuple[float, float] = (0.30, 0.44)
+    #: Iris radius.
+    iris_radius: float = 0.185
+    #: Pupil radius at neutral dilation.
+    pupil_radius: float = 0.075
+    #: Maximum gaze eccentricity the model supports, degrees.
+    max_angle_deg: float = 25.0
+    #: Eyelid resting aperture (1 = fully open).
+    lid_open: float = 1.0
+    #: IR glint positions relative to the eye centre (row, col offsets).
+    glints: tuple[tuple[float, float], ...] = ((-0.10, -0.13), (-0.10, 0.13))
+    #: Glint radius.
+    glint_radius: float = 0.016
+
+    def pupil_center(self, gaze_h: float, gaze_v: float) -> tuple[float, float]:
+        """Normalized (row, col) of the pupil centre for a gaze direction.
+
+        A rotating eyeball projects the pupil at ``R * sin(theta)`` from the
+        socket centre.  Positive horizontal gaze moves the pupil to larger
+        column; positive vertical gaze (looking up) moves it to smaller row.
+        """
+        r = self.eyeball_radius
+        row = self.center[0] - r * np.sin(np.deg2rad(gaze_v))
+        col = self.center[1] + r * np.sin(np.deg2rad(gaze_h))
+        return float(row), float(col)
+
+    def gaze_from_pupil(self, row: float, col: float) -> tuple[float, float]:
+        """Invert :meth:`pupil_center` — the geometric gaze regression.
+
+        This is the "regression model based on the geometric model of human
+        eyes" the paper uses for the gaze-prediction stage (Sec. II-A).
+        """
+        r = self.eyeball_radius
+        sin_v = np.clip((self.center[0] - row) / r, -1.0, 1.0)
+        sin_h = np.clip((col - self.center[1]) / r, -1.0, 1.0)
+        return float(np.rad2deg(np.arcsin(sin_h))), float(np.rad2deg(np.arcsin(sin_v)))
+
+    def foreshortening(self, gaze_h: float, gaze_v: float) -> tuple[float, float]:
+        """Apparent (vertical, horizontal) scale of the iris/pupil discs.
+
+        Discs on the eyeball foreshorten by cos(angle) along the direction
+        of rotation.
+        """
+        return (
+            float(np.cos(np.deg2rad(gaze_v))),
+            float(np.cos(np.deg2rad(gaze_h))),
+        )
+
+    def scaled(self, factor: float) -> "EyeGeometry":
+        """Shrink/grow the eye relative to the frame (camera distance).
+
+        The paper's 640x400 sensor sees the eye opening as ~13 % of the
+        frame; at small CI resolutions the default geometry fills most of
+        the image, which removes the value of ROI prediction.  Scaling by
+        ~0.6 restores the paper's foreground-to-frame ratio.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive: {factor}")
+        return EyeGeometry(
+            center=self.center,
+            eyeball_radius=self.eyeball_radius * factor,
+            sclera_axes=(
+                self.sclera_axes[0] * factor,
+                self.sclera_axes[1] * factor,
+            ),
+            iris_radius=self.iris_radius * factor,
+            pupil_radius=self.pupil_radius * factor,
+            max_angle_deg=self.max_angle_deg,
+            lid_open=self.lid_open,
+            glints=tuple((r * factor, c * factor) for r, c in self.glints),
+            glint_radius=self.glint_radius * factor,
+        )
+
+    @staticmethod
+    def random(rng: np.random.Generator) -> "EyeGeometry":
+        """Sample a plausible subject-specific geometry (dataset diversity)."""
+        return EyeGeometry(
+            center=(
+                0.5 + float(rng.uniform(-0.04, 0.04)),
+                0.5 + float(rng.uniform(-0.04, 0.04)),
+            ),
+            eyeball_radius=float(rng.uniform(0.38, 0.46)),
+            sclera_axes=(
+                float(rng.uniform(0.26, 0.33)),
+                float(rng.uniform(0.40, 0.48)),
+            ),
+            iris_radius=float(rng.uniform(0.16, 0.21)),
+            pupil_radius=float(rng.uniform(0.055, 0.095)),
+            lid_open=float(rng.uniform(0.9, 1.0)),
+        )
+
+
+@dataclass
+class EyeState:
+    """Instantaneous state of the eye: gaze, dilation, and eyelid aperture."""
+
+    gaze_h: float = 0.0
+    gaze_v: float = 0.0
+    #: Pupil dilation multiplier (slow physiological variation).
+    dilation: float = 1.0
+    #: Eyelid aperture in [0, 1]; 0 during the closed phase of a blink.
+    lid_aperture: float = 1.0
+    #: True while a saccade is in flight (used to label corner cases).
+    in_saccade: bool = False
+    #: True while a blink occludes the eye.
+    in_blink: bool = field(default=False)
+
+    def clipped(self, geometry: EyeGeometry) -> "EyeState":
+        """Return a copy with gaze clipped to the geometry's valid range."""
+        limit = geometry.max_angle_deg
+        return EyeState(
+            gaze_h=float(np.clip(self.gaze_h, -limit, limit)),
+            gaze_v=float(np.clip(self.gaze_v, -limit, limit)),
+            dilation=self.dilation,
+            lid_aperture=self.lid_aperture,
+            in_saccade=self.in_saccade,
+            in_blink=self.in_blink,
+        )

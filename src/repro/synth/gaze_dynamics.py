@@ -1,0 +1,215 @@
+"""Oculomotor dynamics: fixations, saccades, smooth pursuit, and blinks.
+
+The generator reproduces the statistics that motivate the paper's system
+requirements (Sec. II-A): saccades reach up to ~700 deg/s, which is why a
+120 Hz tracking rate is needed, and blinks are the corner case where the
+event map stops being indicative of the foreground (Sec. III-A, hence the
+previous-segmentation-map feedback into the ROI predictor).
+
+The model is a continuous-time state machine sampled at the camera frame
+rate:
+
+* **fixation** — gaze holds with small ocular drift + tremor;
+* **saccade**  — a ballistic jump following the *main sequence*: peak
+  velocity grows with amplitude and saturates near 700 deg/s, with a
+  minimum-jerk velocity profile;
+* **pursuit**  — occasional smooth motion at 10-30 deg/s;
+* **blink**    — the eyelid closes and reopens over ~150-300 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.eye_model import EyeGeometry, EyeState
+
+__all__ = ["GazeDynamicsConfig", "GazeSequenceGenerator", "main_sequence_peak_velocity"]
+
+
+def main_sequence_peak_velocity(amplitude_deg: float) -> float:
+    """Peak saccade velocity (deg/s) for a given amplitude (deg).
+
+    The classic main-sequence fit ``V = Vmax * (1 - exp(-A / c))`` with
+    ``Vmax = 700`` deg/s (the figure quoted in Sec. II-A) and ``c = 11``
+    degrees, matching published oculomotor data to first order.
+    """
+    return 700.0 * (1.0 - np.exp(-amplitude_deg / 11.0))
+
+
+@dataclass(frozen=True)
+class GazeDynamicsConfig:
+    """Tunable statistics of the synthetic gaze traces."""
+
+    #: Mean fixation duration, seconds.
+    fixation_mean_s: float = 0.30
+    #: Fixation drift RMS, deg/s.
+    drift_rms: float = 0.8
+    #: Tremor amplitude, degrees.
+    tremor_amp: float = 0.05
+    #: Probability that a movement is a smooth pursuit instead of a saccade.
+    pursuit_prob: float = 0.15
+    #: Pursuit speed range, deg/s.
+    pursuit_speed: tuple[float, float] = (10.0, 30.0)
+    #: Blink rate, blinks per second (~15-20 per minute for humans).
+    blink_rate_hz: float = 0.28
+    #: Blink total duration range, seconds.
+    blink_duration_s: tuple[float, float] = (0.15, 0.30)
+    #: Saccade amplitude range, degrees.
+    saccade_amplitude: tuple[float, float] = (2.0, 20.0)
+
+
+class GazeSequenceGenerator:
+    """Generate frame-rate samples of :class:`EyeState` for one recording.
+
+    Parameters
+    ----------
+    geometry:
+        Subject geometry; gaze targets stay within its valid cone.
+    fps:
+        Camera frame rate; one state is emitted per frame.
+    config:
+        Dynamics statistics.
+    rng:
+        Random generator; a fixed seed reproduces the exact trace.
+    """
+
+    def __init__(
+        self,
+        geometry: EyeGeometry,
+        fps: float,
+        rng: np.random.Generator,
+        config: GazeDynamicsConfig | None = None,
+    ):
+        if fps <= 0:
+            raise ValueError(f"fps must be positive: {fps}")
+        self.geometry = geometry
+        self.fps = fps
+        self.dt = 1.0 / fps
+        self.config = config or GazeDynamicsConfig()
+        self.rng = rng
+        self._gaze = np.array([0.0, 0.0])  # (h, v) degrees
+        self._dilation = float(rng.uniform(0.85, 1.15))
+        self._mode = "fixation"
+        self._mode_left_s = float(rng.exponential(self.config.fixation_mean_s))
+        self._saccade_plan: tuple[np.ndarray, np.ndarray, float, float] | None = None
+        self._pursuit_velocity = np.zeros(2)
+        self._blink_left_s = 0.0
+        self._blink_total_s = 0.0
+
+    # -- internal transitions -------------------------------------------------
+    def _pick_target(self) -> np.ndarray:
+        limit = 0.9 * self.geometry.max_angle_deg
+        cfg = self.config
+        for _ in range(16):
+            amp = self.rng.uniform(*cfg.saccade_amplitude)
+            direction = self.rng.uniform(0, 2 * np.pi)
+            target = self._gaze + amp * np.array(
+                [np.cos(direction), np.sin(direction)]
+            )
+            if np.all(np.abs(target) <= limit):
+                return target
+        return np.clip(target, -limit, limit)
+
+    def _start_movement(self) -> None:
+        cfg = self.config
+        if self.rng.random() < cfg.pursuit_prob:
+            self._mode = "pursuit"
+            speed = self.rng.uniform(*cfg.pursuit_speed)
+            direction = self.rng.uniform(0, 2 * np.pi)
+            self._pursuit_velocity = speed * np.array(
+                [np.cos(direction), np.sin(direction)]
+            )
+            self._mode_left_s = float(self.rng.uniform(0.3, 1.0))
+        else:
+            self._mode = "saccade"
+            start = self._gaze.copy()
+            target = self._pick_target()
+            amplitude = float(np.linalg.norm(target - start))
+            peak_v = main_sequence_peak_velocity(amplitude)
+            # Minimum-jerk profile: duration such that mean velocity is
+            # 0.5 * peak (property of the minimum-jerk position curve is
+            # peak velocity = 1.875 * mean; 0.5 is a serviceable approx).
+            duration = max(2 * self.dt, 1.875 * amplitude / max(peak_v, 1e-9))
+            self._saccade_plan = (start, target, duration, 0.0)
+
+    def _start_blink(self) -> None:
+        cfg = self.config
+        self._blink_total_s = float(self.rng.uniform(*cfg.blink_duration_s))
+        self._blink_left_s = self._blink_total_s
+
+    # -- public API -----------------------------------------------------------
+    def step(self) -> EyeState:
+        """Advance one frame interval and return the new eye state."""
+        cfg = self.config
+        dt = self.dt
+        in_saccade = False
+
+        tremor = np.zeros(2)
+        if self._mode == "fixation":
+            drift = self.rng.normal(0.0, cfg.drift_rms * np.sqrt(dt), size=2)
+            # Tremor perturbs the emitted sample but not the persistent state.
+            tremor = self.rng.normal(0.0, cfg.tremor_amp, size=2)
+            self._gaze = self._gaze + drift
+            self._mode_left_s -= dt
+            if self._mode_left_s <= 0:
+                self._start_movement()
+        elif self._mode == "pursuit":
+            self._gaze = self._gaze + self._pursuit_velocity * dt
+            limit = 0.95 * self.geometry.max_angle_deg
+            if np.any(np.abs(self._gaze) > limit):
+                self._gaze = np.clip(self._gaze, -limit, limit)
+                self._mode_left_s = 0.0
+            self._mode_left_s -= dt
+            if self._mode_left_s <= 0:
+                self._mode = "fixation"
+                self._mode_left_s = float(self.rng.exponential(cfg.fixation_mean_s))
+        elif self._mode == "saccade":
+            start, target, duration, elapsed = self._saccade_plan
+            elapsed += dt
+            tau = min(elapsed / duration, 1.0)
+            # Minimum-jerk position profile.
+            s = 10 * tau**3 - 15 * tau**4 + 6 * tau**5
+            self._gaze = start + s * (target - start)
+            in_saccade = tau < 1.0
+            if tau >= 1.0:
+                self._mode = "fixation"
+                self._mode_left_s = float(self.rng.exponential(cfg.fixation_mean_s))
+                self._saccade_plan = None
+            else:
+                self._saccade_plan = (start, target, duration, elapsed)
+
+        # Blinks are superimposed on whatever the gaze is doing.
+        if self._blink_left_s > 0:
+            self._blink_left_s -= dt
+            phase = 1.0 - self._blink_left_s / self._blink_total_s
+            # Triangular close/open profile.
+            aperture = abs(2 * phase - 1.0)
+            in_blink = True
+        else:
+            aperture = 1.0
+            in_blink = False
+            if self.rng.random() < cfg.blink_rate_hz * dt:
+                self._start_blink()
+
+        # Slow pupil dilation random walk.
+        self._dilation = float(
+            np.clip(self._dilation + self.rng.normal(0, 0.01 * np.sqrt(dt)), 0.7, 1.3)
+        )
+
+        state = EyeState(
+            gaze_h=float(self._gaze[0] + tremor[0]),
+            gaze_v=float(self._gaze[1] + tremor[1]),
+            dilation=self._dilation,
+            lid_aperture=float(aperture),
+            in_saccade=in_saccade,
+            in_blink=in_blink,
+        )
+        return state.clipped(self.geometry)
+
+    def generate(self, num_frames: int) -> list[EyeState]:
+        """Emit ``num_frames`` consecutive states."""
+        if num_frames < 0:
+            raise ValueError("num_frames must be non-negative")
+        return [self.step() for _ in range(num_frames)]

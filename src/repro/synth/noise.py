@@ -1,0 +1,93 @@
+"""Image-sensor noise model: photon shot noise, read noise, quantization.
+
+Follows the classic analytical treatment the paper cites (Sec. V,
+"Experimental Methodology"): the clean frame is interpreted as normalized
+irradiance, scaled by exposure into an expected photo-electron count, and
+the measured count is drawn from a Poisson distribution — so the SNR grows
+as the square root of exposure time and "drops quadratically" as exposure
+shrinks (Sec. II-C).  Gaussian read noise and 10-bit ADC quantization (the
+paper's DPS stores 10-bit pixel values) are applied on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SensorNoiseModel", "NoiseConfig", "exposure_for_fps"]
+
+#: Fraction of the frame period spent exposing (the remainder covers readout
+#: and, for BlissCam, the in-sensor stages — see the timing model).
+DEFAULT_EXPOSURE_DUTY = 0.996
+
+
+def exposure_for_fps(fps: float, duty: float = DEFAULT_EXPOSURE_DUTY) -> float:
+    """Exposure time (seconds) available at a given frame rate.
+
+    At 120 FPS with the default duty this is ~8.3 ms, the paper's number.
+    """
+    if fps <= 0:
+        raise ValueError(f"fps must be positive: {fps}")
+    return duty / fps
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Physical parameters of the simulated sensor."""
+
+    #: Expected photo-electrons at full-scale signal for a 1-second exposure.
+    #: Sized so that at 120 FPS (8.3 ms) full scale collects ~4000 e-,
+    #: a typical small-pixel full-well operating point.
+    electrons_per_second_full_scale: float = 480_000.0
+    #: RMS read noise in electrons (paper cites 2.45 e- rms sensors).
+    read_noise_electrons: float = 2.45
+    #: ADC bit depth (the DPS uses per-pixel 10-bit SRAM).
+    bit_depth: int = 10
+
+
+class SensorNoiseModel:
+    """Apply exposure-dependent sensor noise to clean frames."""
+
+    def __init__(self, config: NoiseConfig | None = None, seed: int = 0):
+        self.config = config or NoiseConfig()
+        self.rng = np.random.default_rng(seed)
+
+    def snr_db(self, signal_level: float, exposure_s: float) -> float:
+        """Shot-noise-limited SNR (dB) at a given normalized signal level."""
+        cfg = self.config
+        electrons = signal_level * cfg.electrons_per_second_full_scale * exposure_s
+        if electrons <= 0:
+            return -np.inf
+        noise = np.sqrt(electrons + cfg.read_noise_electrons**2)
+        return float(20 * np.log10(electrons / noise))
+
+    def apply(self, clean: np.ndarray, exposure_s: float) -> np.ndarray:
+        """Return a noisy, quantized frame in [0, 1].
+
+        Parameters
+        ----------
+        clean:
+            Normalized irradiance frame in [0, 1].
+        exposure_s:
+            Exposure time in seconds; shorter exposures collect fewer
+            photons and are therefore noisier.
+        """
+        if exposure_s <= 0:
+            raise ValueError(f"exposure must be positive: {exposure_s}")
+        cfg = self.config
+        full_scale = cfg.electrons_per_second_full_scale * exposure_s
+        expected = np.clip(clean, 0.0, 1.0) * full_scale
+        # Poisson shot noise; for large means numpy's Poisson is exact and
+        # fast enough at our resolutions.
+        counts = self.rng.poisson(expected).astype(np.float64)
+        counts += self.rng.normal(0.0, cfg.read_noise_electrons, size=counts.shape)
+        normalized = np.clip(counts / full_scale, 0.0, 1.0)
+        # 10-bit quantization (per-pixel SS ADC).
+        levels = 2**cfg.bit_depth - 1
+        return np.round(normalized * levels) / levels
+
+    def quantize(self, frame: np.ndarray) -> np.ndarray:
+        """Quantize without adding noise (used by digital-domain variants)."""
+        levels = 2**self.config.bit_depth - 1
+        return np.round(np.clip(frame, 0.0, 1.0) * levels) / levels

@@ -1,0 +1,152 @@
+"""Adapter for real OpenEDS-format recordings.
+
+The reproduction trains on the synthetic generator, but a downstream user
+with access to the actual OpenEDS dataset (Garbin et al. 2019) should be
+able to drop it in.  This adapter reads a directory of per-sequence
+``.npz`` archives and exposes the same :class:`~repro.synth.dataset`
+sequence interface the rest of the library consumes, so pipelines,
+strategy harnesses and benchmarks run unchanged on real data.
+
+Expected archive layout (one ``.npz`` per recording)::
+
+    frames          (T, H, W) uint8 or float in [0, 1]
+    segmentations   (T, H, W) int   labels per SEG_CLASSES
+    gazes           (T, 2)    float degrees (horizontal, vertical) —
+                              optional; absent for OpenEDS-2019 splits
+                              that ship segmentation labels only
+
+Missing gaze labels are tolerated: gaze-dependent evaluations then need a
+calibration set, exactly like a real deployment.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.synth.eye_model import SEG_CLASSES, EyeGeometry
+from repro.synth.dataset import EyeSequence
+
+__all__ = ["OpenEDSAdapter", "write_sequence_archive"]
+
+
+def write_sequence_archive(
+    path: str | os.PathLike,
+    frames: np.ndarray,
+    segmentations: np.ndarray,
+    gazes: np.ndarray | None = None,
+) -> None:
+    """Write one recording in the adapter's archive format."""
+    frames = np.asarray(frames)
+    segmentations = np.asarray(segmentations)
+    if frames.ndim != 3 or segmentations.shape != frames.shape:
+        raise ValueError(
+            f"frames {frames.shape} and segmentations {segmentations.shape} "
+            "must be matching (T, H, W) stacks"
+        )
+    payload = {"frames": frames, "segmentations": segmentations}
+    if gazes is not None:
+        gazes = np.asarray(gazes)
+        if gazes.shape != (frames.shape[0], 2):
+            raise ValueError(f"gazes must be (T, 2), got {gazes.shape}")
+        payload["gazes"] = gazes
+    np.savez_compressed(path, **payload)
+
+
+class OpenEDSAdapter:
+    """Directory of ``.npz`` recordings -> the library's sequence API."""
+
+    def __init__(self, root: str | os.PathLike, fps: float = 120.0):
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise FileNotFoundError(f"no such dataset directory: {self.root}")
+        self.fps = fps
+        self._paths = sorted(self.root.glob("*.npz"))
+        if not self._paths:
+            raise FileNotFoundError(f"no .npz recordings under {self.root}")
+        self._cache: dict[int, EyeSequence] = {}
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, index: int) -> EyeSequence:
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if index not in self._cache:
+            self._cache[index] = self._load(self._paths[index])
+        return self._cache[index]
+
+    def _load(self, path: Path) -> EyeSequence:
+        with np.load(path) as data:
+            frames = data["frames"].astype(np.float64)
+            if frames.max() > 1.0:
+                frames = frames / 255.0
+            segmentations = data["segmentations"].astype(np.int64)
+            gazes = (
+                data["gazes"].astype(np.float64)
+                if "gazes" in data.files
+                else np.full((frames.shape[0], 2), np.nan)
+            )
+        if frames.shape != segmentations.shape:
+            raise ValueError(
+                f"{path.name}: frames {frames.shape} != "
+                f"segmentations {segmentations.shape}"
+            )
+        valid = (segmentations >= 0) & (segmentations < len(SEG_CLASSES))
+        if not valid.all():
+            raise ValueError(f"{path.name}: segmentation labels out of range")
+        boxes = [self._roi_box(seg) for seg in segmentations]
+        return EyeSequence(
+            frames=frames,
+            clean_frames=frames.copy(),
+            segmentations=segmentations,
+            gazes=gazes,
+            roi_boxes=boxes,
+            saccade_flags=np.zeros(frames.shape[0], dtype=bool),
+            blink_flags=np.array(
+                [b is None for b in boxes]
+            ),  # fully occluded frames
+            geometry=EyeGeometry(),  # unknown for real data; nominal
+            fps=self.fps,
+        )
+
+    @staticmethod
+    def _roi_box(seg: np.ndarray) -> tuple[int, int, int, int] | None:
+        rows, cols = np.nonzero(seg != SEG_CLASSES["background"])
+        if rows.size == 0:
+            return None
+        return (
+            int(rows.min()),
+            int(cols.min()),
+            int(rows.max()) + 1,
+            int(cols.max()) + 1,
+        )
+
+    # -- the subset of SyntheticEyeDataset's API the harnesses use ----------
+    def split(self, train_fraction: float = 0.75) -> tuple[list[int], list[int]]:
+        if not 0 < train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        n_train = max(1, int(round(train_fraction * len(self))))
+        n_train = min(n_train, len(self) - 1) if len(self) > 1 else n_train
+        indices = list(range(len(self)))
+        return indices[:n_train], indices[n_train:]
+
+    def frame_pairs(self, indices: list[int] | None = None):
+        for seq_index in indices if indices is not None else range(len(self)):
+            seq = self[seq_index]
+            for t in range(1, len(seq)):
+                yield (
+                    seq.frames[t - 1],
+                    seq.frames[t],
+                    seq.segmentations[t],
+                    seq.gazes[t],
+                    seq.roi_boxes[t],
+                    seq_index,
+                    t,
+                )

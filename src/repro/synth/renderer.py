@@ -1,0 +1,181 @@
+"""Rasterizer: eye geometry + state -> IR frame + ground-truth labels.
+
+Produces, for each :class:`~repro.synth.eye_model.EyeState`:
+
+* a grayscale intensity frame in ``[0, 1]`` (pre-noise, "clean" signal),
+* a per-pixel segmentation map with the OpenEDS four-class convention
+  (background / sclera / iris / pupil),
+* the ground-truth gaze vector and foreground bounding box.
+
+The renderer is fully vectorized over the pixel grid and deterministic
+given the subject seed, so datasets are reproducible.  The *background*
+texture (skin around the eye) is generated once per subject and never
+moves — this is the stationarity property the eventification stage relies
+on (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.eye_model import SEG_CLASSES, EyeGeometry, EyeState
+
+__all__ = ["RenderedFrame", "EyeRenderer"]
+
+# Base reflectances of the eye regions under IR illumination.  The pupil is
+# dark (IR absorbed through the aperture), the iris mid-gray, the sclera
+# bright; skin sits between iris and sclera.
+_ALBEDO = {"pupil": 0.06, "iris": 0.35, "sclera": 0.82, "skin": 0.55}
+_GLINT_INTENSITY = 1.0
+_EDGE_SOFTNESS = 0.35  # anti-aliasing width in pixels, as a fraction of height
+
+
+@dataclass
+class RenderedFrame:
+    """One rendered frame with its ground truth."""
+
+    image: np.ndarray  # (H, W) float in [0, 1], clean signal
+    segmentation: np.ndarray  # (H, W) int labels per SEG_CLASSES
+    gaze: tuple[float, float]  # (horizontal, vertical) degrees
+    state: EyeState
+    #: Ground-truth foreground bounding box (row0, col0, row1, col1),
+    #: inclusive-exclusive, or None when the eye is fully occluded.
+    roi_box: tuple[int, int, int, int] | None
+
+
+class EyeRenderer:
+    """Rasterize frames for one subject at a fixed resolution."""
+
+    def __init__(
+        self,
+        geometry: EyeGeometry,
+        height: int,
+        width: int,
+        rng: np.random.Generator,
+    ):
+        if height < 8 or width < 8:
+            raise ValueError(f"resolution too small: {height}x{width}")
+        self.geometry = geometry
+        self.height = height
+        self.width = width
+        rows, cols = np.mgrid[0:height, 0:width]
+        # Normalized coordinates: everything in the geometry is a fraction
+        # of the image height so shapes stay round on non-square frames.
+        self._nr = (rows + 0.5) / height
+        self._nc = (cols + 0.5) / height
+        self._aspect = width / height
+        self._background = self._make_background(rng)
+
+    def _make_background(self, rng: np.random.Generator) -> np.ndarray:
+        """Static smooth skin texture: low-frequency random field."""
+        coarse = rng.normal(0.0, 1.0, size=(8, 8))
+        # Bilinear upsample to full resolution (separable interpolation).
+        ys = np.linspace(0, 7, self.height)
+        xs = np.linspace(0, 7, self.width)
+        yi = np.clip(ys.astype(int), 0, 6)
+        xi = np.clip(xs.astype(int), 0, 6)
+        fy = (ys - yi)[:, None]
+        fx = (xs - xi)[None, :]
+        c00 = coarse[yi][:, xi]
+        c01 = coarse[yi][:, xi + 1]
+        c10 = coarse[yi + 1][:, xi]
+        c11 = coarse[yi + 1][:, xi + 1]
+        smooth = (
+            c00 * (1 - fy) * (1 - fx)
+            + c01 * (1 - fy) * fx
+            + c10 * fy * (1 - fx)
+            + c11 * fy * fx
+        )
+        texture = _ALBEDO["skin"] * (1.0 + 0.12 * smooth)
+        return np.clip(texture, 0.0, 1.0)
+
+    @staticmethod
+    def _soft_disc(dist2: np.ndarray, radius: float, soft: float) -> np.ndarray:
+        """Anti-aliased disc coverage in [0, 1] from squared distances."""
+        dist = np.sqrt(np.maximum(dist2, 0.0))
+        return np.clip((radius + soft - dist) / (2 * soft + 1e-12), 0.0, 1.0)
+
+    def render(self, state: EyeState) -> RenderedFrame:
+        """Render one frame for the given eye state."""
+        geo = self.geometry
+        nr, nc = self._nr, self._nc
+        soft = _EDGE_SOFTNESS / self.height
+
+        image = self._background.copy()
+        seg = np.full((self.height, self.width), SEG_CLASSES["background"], dtype=np.int64)
+
+        # -- eye opening (sclera ellipse), shrunk vertically by the eyelids --
+        aperture = state.lid_aperture * geo.lid_open
+        av = max(geo.sclera_axes[0] * aperture, 1e-6)
+        ah = geo.sclera_axes[1]
+        dr = nr - geo.center[0]
+        dc = nc - geo.center[1]
+        sclera_d2 = (dr / av) ** 2 + (dc / ah) ** 2
+        # Coverage via normalized radial distance; softness scaled to axes.
+        sclera_cov = np.clip(
+            (1.0 - np.sqrt(sclera_d2)) / (soft / min(av, ah)) + 0.5, 0.0, 1.0
+        )
+        open_mask = sclera_cov > 0.5
+
+        if aperture > 0.02 and open_mask.any():
+            image = np.where(open_mask, _ALBEDO["sclera"], image)
+            seg[open_mask] = SEG_CLASSES["sclera"]
+
+            # -- iris disc, foreshortened by gaze eccentricity --
+            pr, pc = geo.pupil_center(state.gaze_h, state.gaze_v)
+            fv, fh = geo.foreshortening(state.gaze_h, state.gaze_v)
+            ir_v = geo.iris_radius * fv
+            ir_h = geo.iris_radius * fh
+            iris_d2 = ((nr - pr) / ir_v) ** 2 + ((nc - pc) / ir_h) ** 2
+            iris_cov = self._soft_disc(iris_d2, 1.0, soft / geo.iris_radius)
+            iris_mask = (iris_cov > 0.5) & open_mask
+            image = np.where(iris_mask, _ALBEDO["iris"], image)
+            seg[iris_mask] = SEG_CLASSES["iris"]
+
+            # -- pupil disc --
+            pu_r = geo.pupil_radius * state.dilation
+            pu_v = pu_r * fv
+            pu_h = pu_r * fh
+            pupil_d2 = ((nr - pr) / pu_v) ** 2 + ((nc - pc) / pu_h) ** 2
+            pupil_cov = self._soft_disc(pupil_d2, 1.0, soft / pu_r)
+            pupil_mask = (pupil_cov > 0.5) & open_mask
+            image = np.where(pupil_mask, _ALBEDO["pupil"], image)
+            seg[pupil_mask] = SEG_CLASSES["pupil"]
+
+            # -- corneal glints (bright IR LED reflections) --
+            # Glints ride on the cornea: they shift by a fraction of the
+            # pupil displacement.
+            shift_r = 0.3 * (pr - geo.center[0])
+            shift_c = 0.3 * (pc - geo.center[1])
+            for g_dr, g_dc in geo.glints:
+                gr = geo.center[0] + g_dr + shift_r
+                gc = geo.center[1] + g_dc + shift_c
+                glint_d2 = (nr - gr) ** 2 + (nc - gc) ** 2
+                glint_cov = self._soft_disc(glint_d2, geo.glint_radius, soft)
+                glint_on = (glint_cov > 0.5) & open_mask
+                image = np.where(glint_on, _GLINT_INTENSITY, image)
+                # Glints keep the label of what they cover (sensor artifact).
+
+        roi_box = self._roi_from_segmentation(seg)
+        return RenderedFrame(
+            image=np.clip(image, 0.0, 1.0),
+            segmentation=seg,
+            gaze=(state.gaze_h, state.gaze_v),
+            state=state,
+            roi_box=roi_box,
+        )
+
+    @staticmethod
+    def _roi_from_segmentation(seg: np.ndarray) -> tuple[int, int, int, int] | None:
+        """Tight bounding box of the non-background pixels."""
+        fg_rows, fg_cols = np.nonzero(seg != SEG_CLASSES["background"])
+        if fg_rows.size == 0:
+            return None
+        return (
+            int(fg_rows.min()),
+            int(fg_cols.min()),
+            int(fg_rows.max()) + 1,
+            int(fg_cols.max()) + 1,
+        )

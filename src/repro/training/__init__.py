@@ -1,0 +1,20 @@
+"""Training procedures: generic segmentation training and the paper's
+joint ROI + ViT procedure with approximate differentiable sampling."""
+
+from repro.training.joint import (
+    JointTrainConfig,
+    JointTrainer,
+    JointTrainResult,
+    SoftROIMask,
+)
+from repro.training.loop import TrainResult, batched, train_segmentation
+
+__all__ = [
+    "TrainResult",
+    "train_segmentation",
+    "batched",
+    "SoftROIMask",
+    "JointTrainer",
+    "JointTrainConfig",
+    "JointTrainResult",
+]

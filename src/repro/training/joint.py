@@ -1,0 +1,280 @@
+"""Joint training of the ROI predictor and the sparse ViT (Sec. III-C).
+
+Two loss terms drive the end-to-end pipeline:
+
+* **segmentation loss** — cross entropy on the ViT's output;
+* **ROI loss** — mean-squared error between the predicted and ground-truth
+  normalized ROI boxes.
+
+The segmentation loss back-propagates into the ROI predictor *through the
+sampling stage*.  Sampling is a hard, discrete operation, so — like the
+paper — we use an approximate differentiable relaxation: the predicted box
+is rendered as a **soft ROI mask** (a product of sigmoid edges) that
+multiplies both the pixel values and the mask channel the ViT consumes.
+The gradient of the segmentation loss w.r.t. the soft mask is then chained
+analytically to the four box coordinates.
+
+Gradient masking (the paper's explicit rule): only gradients at pixels
+*selected by the random sampling* flow back into the ROI predictor; the
+Bernoulli mask multiplies the chain, zeroing everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import Adam, CrossEntropyLoss, MSELoss, clip_grad_norm
+from repro.sampling.eventification import eventify
+from repro.sampling.random_sampling import random_mask_in_box
+from repro.sampling.roi import ROIPredictor, box_from_pixels, box_to_pixels
+from repro.segmentation.vit import ViTSegmenter
+from repro.synth.dataset import SyntheticEyeDataset
+
+__all__ = ["SoftROIMask", "JointTrainer", "JointTrainConfig", "JointTrainResult"]
+
+
+class SoftROIMask:
+    """Differentiable rectangle: product of four sigmoid edges.
+
+    ``m(r, c) = s((r - r0)/tau) * s((r1 - r)/tau) * s((c - c0)/tau) *
+    s((c1 - c)/tau)`` over normalized coordinates, where ``s`` is the
+    logistic function and ``tau`` the edge softness.  As ``tau -> 0`` this
+    approaches the hard box indicator; gradients w.r.t. the box corners
+    are analytic.
+    """
+
+    def __init__(self, height: int, width: int, tau: float = 0.05):
+        if tau <= 0:
+            raise ValueError(f"tau must be positive: {tau}")
+        self.tau = tau
+        # Normalized pixel-centre coordinates (fractions of each dimension).
+        self._rows = (np.arange(height) + 0.5) / height
+        self._cols = (np.arange(width) + 0.5) / width
+
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def forward(self, box: np.ndarray) -> np.ndarray:
+        """Box (r0, c0, r1, c1) -> soft mask (H, W)."""
+        r0, c0, r1, c1 = box
+        tau = self.tau
+        self._sr0 = self._sigmoid((self._rows - r0) / tau)
+        self._sr1 = self._sigmoid((r1 - self._rows) / tau)
+        self._sc0 = self._sigmoid((self._cols - c0) / tau)
+        self._sc1 = self._sigmoid((c1 - self._cols) / tau)
+        self._row_term = self._sr0 * self._sr1  # (H,)
+        self._col_term = self._sc0 * self._sc1  # (W,)
+        return np.outer(self._row_term, self._col_term)
+
+    def backward(self, grad_mask: np.ndarray) -> np.ndarray:
+        """Gradient of a scalar loss w.r.t. the four box coordinates."""
+        tau = self.tau
+        # d sigmoid(u)/du = s(1-s); chain through the signs of the edges.
+        d_sr0 = -self._sr0 * (1 - self._sr0) / tau  # d/d r0
+        d_sr1 = self._sr1 * (1 - self._sr1) / tau  # d/d r1
+        d_sc0 = -self._sc0 * (1 - self._sc0) / tau  # d/d c0
+        d_sc1 = self._sc1 * (1 - self._sc1) / tau  # d/d c1
+        row_dot = grad_mask @ self._col_term  # (H,)
+        col_dot = grad_mask.T @ self._row_term  # (W,)
+        return np.array(
+            [
+                float(np.sum(row_dot * d_sr0 * self._sr1)),
+                float(np.sum(col_dot * d_sc0 * self._sc1)),
+                float(np.sum(row_dot * d_sr1 * self._sr0)),
+                float(np.sum(col_dot * d_sc1 * self._sc0)),
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class JointTrainConfig:
+    """Hyper-parameters of the joint procedure.
+
+    The paper trains segmentation for 250 epochs at batch size 4 and the
+    ROI network for 100 epochs at batch size 8; the defaults here are CI
+    scale and flow through identical code.
+    """
+
+    epochs: int = 2
+    lr_segmenter: float = 3e-3
+    lr_roi: float = 1e-3
+    #: In-ROI random sampling rate (paper: ~20 % of ROI pixels).
+    roi_sampling_rate: float = 0.2
+    #: Weight of the segmentation gradient flowing into the ROI predictor.
+    seg_to_roi_weight: float = 0.1
+    grad_clip: float = 5.0
+    #: Soft-mask edge softness for the differentiable relaxation.
+    tau: float = 0.05
+    #: Probability of hiding the previous-segmentation cue during training.
+    #: At run time the fed-back map is missing on the first frame and noisy
+    #: early on; dropping the cue randomly keeps the ROI predictor robust
+    #: to that distribution shift (same spirit as the paper's blink/saccade
+    #: robustness argument for the cue itself).
+    cue_dropout: float = 0.4
+    #: Probability of *dilating* the cue's foreground during training, and
+    #: the maximum dilation radius (pixels).  At run time the fed-back map
+    #: comes from the sparse segmenter, which over-predicts foreground
+    #: across the sampled region; without this augmentation the predictor
+    #: learns "box = bounding box of the cue" and enters a positive
+    #: feedback loop where each frame's box inflates the next (the box
+    #: ratchet).  Training on inflated cues teaches it to trust the event
+    #: map for the tight extent.
+    cue_dilate_prob: float = 0.5
+    cue_dilate_max_px: int = 4
+
+
+@dataclass
+class JointTrainResult:
+    seg_losses: list[float] = field(default_factory=list)
+    roi_losses: list[float] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return (
+            len(self.seg_losses) >= 2
+            and self.seg_losses[-1] < self.seg_losses[0]
+        )
+
+
+class JointTrainer:
+    """Trains the ROI predictor and sparse ViT end to end."""
+
+    def __init__(
+        self,
+        roi_predictor: ROIPredictor,
+        segmenter: ViTSegmenter,
+        config: JointTrainConfig,
+        rng: np.random.Generator,
+    ):
+        self.roi_predictor = roi_predictor
+        self.segmenter = segmenter
+        self.config = config
+        self.rng = rng
+        self.seg_loss = CrossEntropyLoss()
+        self.roi_loss = MSELoss()
+        self.opt_seg = Adam(segmenter.parameters(), lr=config.lr_segmenter)
+        self.opt_roi = Adam(roi_predictor.parameters(), lr=config.lr_roi)
+        self.soft_mask = SoftROIMask(
+            segmenter.config.height, segmenter.config.width, tau=config.tau
+        )
+
+    def _dilate_cue(self, seg: np.ndarray) -> np.ndarray:
+        """Randomly inflate or shrink the cue's foreground (augmentation).
+
+        Symmetric corruption makes the cue's *area* uninformative about
+        the true box, forcing the predictor to take the extent from the
+        event map and use the cue only for coarse localization.
+        """
+        from scipy.ndimage import grey_dilation, grey_erosion
+
+        radius = int(self.rng.integers(1, self.config.cue_dilate_max_px + 1))
+        size = 2 * radius + 1
+        if self.rng.random() < 0.5:
+            return grey_dilation(seg, size=(size, size))
+        return grey_erosion(seg, size=(size, size))
+
+    def _train_step(
+        self,
+        prev_frame: np.ndarray,
+        frame: np.ndarray,
+        prev_seg: np.ndarray | None,
+        target_seg: np.ndarray,
+        gt_box: np.ndarray | None,
+    ) -> tuple[float, float]:
+        """One frame pair through the full joint pipeline; returns losses."""
+        cfg = self.config
+        height, width = frame.shape
+
+        # -- in-sensor stages -------------------------------------------------
+        event_map = eventify(prev_frame, frame)
+        if cfg.cue_dropout and self.rng.random() < cfg.cue_dropout:
+            prev_seg = None
+        elif (
+            prev_seg is not None
+            and cfg.cue_dilate_prob
+            and self.rng.random() < cfg.cue_dilate_prob
+        ):
+            prev_seg = self._dilate_cue(prev_seg)
+        roi_in = ROIPredictor.make_input(event_map, prev_seg)
+        box_pred = self.roi_predictor(roi_in)  # (1, 4), sigmoid-activated
+
+        # ROI regression loss against the ground-truth foreground box.
+        if gt_box is not None:
+            gt_norm = box_from_pixels(gt_box, height, width)[None]
+            roi_loss_val = self.roi_loss.forward(box_pred, gt_norm)
+            grad_box_mse = self.roi_loss.backward()
+        else:  # fully occluded frame (blink): no box supervision
+            roi_loss_val = 0.0
+            grad_box_mse = np.zeros_like(box_pred)
+
+        # Hard sampling for the forward pass (what the sensor actually does).
+        pixel_box = box_to_pixels(box_pred[0], height, width)
+        bern = random_mask_in_box(
+            frame.shape, pixel_box, cfg.roi_sampling_rate, self.rng
+        )
+
+        # Soft relaxation for the backward path through sampling.
+        soft = self.soft_mask.forward(box_pred[0])
+        eff_mask = bern * soft
+        sparse = frame * eff_mask
+
+        # -- off-sensor segmentation ------------------------------------------
+        logits = self.segmenter(sparse[None], eff_mask[None])
+        seg_loss_val = self.seg_loss.forward(logits, target_seg[None])
+        grad_logits = self.seg_loss.backward()
+
+        self.segmenter.zero_grad()
+        grad_pix, grad_bit = self.segmenter.backward_to_input(grad_logits)
+
+        # Chain rule into the soft mask, gradient-masked to sampled pixels
+        # (the paper's explicit masking rule): bern zeroes unsampled pixels.
+        grad_soft = (grad_pix[0] * frame + grad_bit[0]) * bern
+        grad_box_seg = self.soft_mask.backward(grad_soft)
+
+        # -- updates ---------------------------------------------------------------
+        total_grad_box = grad_box_mse + cfg.seg_to_roi_weight * grad_box_seg[None]
+        self.roi_predictor.zero_grad()
+        self.roi_predictor.backward(total_grad_box)
+        clip_grad_norm(self.roi_predictor.parameters(), cfg.grad_clip)
+        clip_grad_norm(self.segmenter.parameters(), cfg.grad_clip)
+        self.opt_roi.step()
+        self.opt_seg.step()
+        return seg_loss_val, float(roi_loss_val)
+
+    def train(
+        self, dataset: SyntheticEyeDataset, sequence_indices: list[int]
+    ) -> JointTrainResult:
+        """Run ``config.epochs`` passes over the given sequences."""
+        result = JointTrainResult()
+        self.segmenter.train()
+        self.roi_predictor.train()
+        for _ in range(self.config.epochs):
+            seg_total, roi_total, steps = 0.0, 0.0, 0
+            for seq_index in sequence_indices:
+                seq = dataset[seq_index]
+                for t in range(1, len(seq)):
+                    # Teacher forcing: the previous frame's ground-truth
+                    # segmentation stands in for the host's fed-back map.
+                    seg_l, roi_l = self._train_step(
+                        prev_frame=seq.frames[t - 1],
+                        frame=seq.frames[t],
+                        prev_seg=seq.segmentations[t - 1],
+                        target_seg=seq.segmentations[t],
+                        gt_box=seq.roi_boxes[t],
+                    )
+                    seg_total += seg_l
+                    roi_total += roi_l
+                    steps += 1
+            result.seg_losses.append(seg_total / max(steps, 1))
+            result.roi_losses.append(roi_total / max(steps, 1))
+        self.segmenter.eval()
+        self.roi_predictor.eval()
+        return result

@@ -1,0 +1,98 @@
+"""Learning-rate schedulers as stateful objects driving an optimizer.
+
+Complements the stateless helpers in :mod:`repro.nn.optim` with the
+scheduler classes a longer (paper-scale, 250-epoch) training run wants:
+linear warmup into cosine decay, and reduce-on-plateau for the ROI head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["WarmupCosineScheduler", "ReduceOnPlateau"]
+
+
+class WarmupCosineScheduler:
+    """Linear warmup for ``warmup_epochs`` then cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        base_lr: float,
+        total_epochs: int,
+        warmup_epochs: int = 0,
+        min_lr: float = 0.0,
+    ):
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        if not 0 <= warmup_epochs < total_epochs:
+            raise ValueError("warmup must be shorter than the schedule")
+        if min_lr < 0 or base_lr <= 0:
+            raise ValueError("learning rates must be non-negative")
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.total_epochs = total_epochs
+        self.warmup_epochs = warmup_epochs
+        self.min_lr = min_lr
+        self._epoch = -1
+        self.step()  # set the epoch-0 learning rate
+
+    def lr_at(self, epoch: int) -> float:
+        """The learning rate the schedule prescribes for ``epoch``."""
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / max(self.warmup_epochs, 1)
+        span = max(self.total_epochs - self.warmup_epochs, 1)
+        frac = min(epoch - self.warmup_epochs, span) / span
+        cosine = 0.5 * (1.0 + np.cos(np.pi * frac))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self._epoch += 1
+        lr = self.lr_at(self._epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+
+class ReduceOnPlateau:
+    """Multiply the learning rate by ``factor`` when a metric stalls."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 3,
+        min_lr: float = 1e-6,
+        threshold: float = 1e-4,
+    ):
+        if not 0 < factor < 1:
+            raise ValueError("factor must be in (0, 1)")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self._best = np.inf
+        self._stall = 0
+
+    def step(self, metric: float) -> float:
+        """Report the latest validation metric; returns the current lr."""
+        if metric < self._best - self.threshold:
+            self._best = metric
+            self._stall = 0
+        else:
+            self._stall += 1
+            if self._stall >= self.patience:
+                self.optimizer.lr = max(
+                    self.min_lr, self.optimizer.lr * self.factor
+                )
+                self._stall = 0
+        return self.optimizer.lr

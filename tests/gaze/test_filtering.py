@@ -1,0 +1,84 @@
+"""Tests for the Kalman gaze filter extension."""
+
+import numpy as np
+import pytest
+
+from repro.gaze.filtering import FilterConfig, KalmanGazeFilter
+
+
+def noisy_fixation(n=120, level=(5.0, -3.0), noise=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.array(level) + rng.normal(0, noise, size=(n, 2))
+
+
+class TestKalmanGazeFilter:
+    def test_first_update_passes_through(self):
+        filt = KalmanGazeFilter(fps=120)
+        assert filt.update((3.0, -2.0)) == (3.0, -2.0)
+
+    def test_smooths_fixation_jitter(self):
+        """During a fixation the filtered trace has lower error than raw."""
+        trace = noisy_fixation()
+        filt = KalmanGazeFilter(fps=120)
+        filtered = filt.filter_sequence(trace)
+        truth = np.array([5.0, -3.0])
+        raw_err = np.abs(trace[30:] - truth).mean()
+        filt_err = np.abs(filtered[30:] - truth).mean()
+        assert filt_err < 0.6 * raw_err
+
+    def test_tracks_saccade_without_lag(self):
+        """The saccade gate keeps step-response lag to ~1 frame."""
+        before = np.tile([0.0, 0.0], (30, 1))
+        after = np.tile([15.0, 0.0], (30, 1))
+        trace = np.vstack([before, after])
+        filt = KalmanGazeFilter(fps=120)
+        filtered = filt.filter_sequence(trace)
+        # One frame after the jump the estimate is already at the target.
+        assert filtered[31, 0] == pytest.approx(15.0, abs=1.0)
+
+    def test_tracks_smooth_pursuit(self):
+        fps = 120
+        t = np.arange(60) / fps
+        trace = np.stack([20.0 * t, np.zeros_like(t)], axis=1)  # 20 deg/s
+        filt = KalmanGazeFilter(fps=fps)
+        filtered = filt.filter_sequence(trace)
+        # After convergence the lag is a fraction of a degree.
+        assert np.abs(filtered[40:, 0] - trace[40:, 0]).max() < 0.5
+
+    def test_reset_forgets_state(self):
+        filt = KalmanGazeFilter(fps=120)
+        filt.update((10.0, 10.0))
+        filt.reset()
+        assert filt.update((0.0, 0.0)) == (0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KalmanGazeFilter(fps=0)
+        with pytest.raises(ValueError):
+            FilterConfig(acceleration_rms=0)
+        with pytest.raises(ValueError):
+            FilterConfig(saccade_gate_sigma=-1)
+        filt = KalmanGazeFilter(fps=120)
+        with pytest.raises(ValueError):
+            filt.update((1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            filt.filter_sequence(np.zeros((5, 3)))
+
+    def test_end_to_end_improvement_on_synthetic_trace(self):
+        """Filtering a jittery tracker's output reduces fixation error
+        without breaking saccade tracking."""
+        rng = np.random.default_rng(7)
+        fps = 120
+        # Truth: fixation, saccade, fixation.
+        truth = np.vstack(
+            [
+                np.tile([0.0, 0.0], (40, 1)),
+                np.tile([12.0, -6.0], (40, 1)),
+            ]
+        )
+        measured = truth + rng.normal(0, 0.8, size=truth.shape)
+        filt = KalmanGazeFilter(fps=fps)
+        filtered = filt.filter_sequence(measured)
+        raw_err = np.abs(measured - truth).mean()
+        filt_err = np.abs(filtered - truth).mean()
+        assert filt_err < raw_err

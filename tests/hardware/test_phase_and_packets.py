@@ -1,0 +1,173 @@
+"""Tests for the analog phase sequencer and CSI-2 packet framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.mipi_packet import (
+    CsiPacketizer,
+    crc16_x25,
+    header_ecc,
+)
+from repro.hardware.sensor.phase_controller import (
+    PHASE_SWITCHES,
+    Phase,
+    PhaseController,
+)
+
+
+class TestPhaseController:
+    def test_starts_in_hold_with_feedback_closed(self):
+        controller = PhaseController()
+        assert controller.phase is Phase.HOLD
+        assert controller.switches.hold_closed
+
+    def test_legal_frame_sequence(self):
+        controller = PhaseController()
+        total = controller.run_frame(
+            exposure_s=8.3e-3,
+            eventify_s=5e-6,
+            roi_s=150e-6,
+            adc_s=5e-6,
+            readout_s=30e-6,
+        )
+        assert controller.phase is Phase.HOLD
+        assert total == pytest.approx(8.3e-3 + 5e-6 + 150e-6 + 5e-6 + 30e-6)
+        assert controller.frames_completed() == 1
+
+    def test_illegal_transition_rejected(self):
+        controller = PhaseController()
+        with pytest.raises(ValueError):
+            controller.advance(Phase.ADC, 1e-6)  # HOLD -> ADC skips stages
+
+    def test_cannot_start_frame_mid_sequence(self):
+        controller = PhaseController()
+        controller.advance(Phase.EVENTIFY_POS, 1e-6)
+        with pytest.raises(RuntimeError):
+            controller.run_frame(1e-3, 1e-6, 1e-6, 1e-6, 1e-6)
+
+    def test_negative_dwell_rejected(self):
+        controller = PhaseController()
+        with pytest.raises(ValueError):
+            controller.advance(Phase.EVENTIFY_POS, -1.0)
+
+    def test_switch_states_match_fig10(self):
+        """HOLD buffers (feedback closed); eventify applies +/-sigma; ADC
+        connects the ramp and runs the counter."""
+        assert PHASE_SWITCHES[Phase.HOLD].hold_closed
+        assert PHASE_SWITCHES[Phase.EVENTIFY_POS].caz_plus_source == "vth1"
+        assert PHASE_SWITCHES[Phase.EVENTIFY_NEG].caz_plus_source == "vth2"
+        adc = PHASE_SWITCHES[Phase.ADC]
+        assert adc.caz_plus_source == "ramp" and adc.counter_enabled
+        # SRAM is power-gated during HOLD (that duty cycle is the RNG).
+        assert not PHASE_SWITCHES[Phase.HOLD].sram_powered
+
+    def test_sustained_rate_validation(self):
+        controller = PhaseController()
+        for _ in range(3):
+            controller.run_frame(8e-3, 5e-6, 150e-6, 5e-6, 30e-6)
+        assert controller.validate_against_period(1 / 120)
+        assert not controller.validate_against_period(1 / 200)
+
+    def test_validation_needs_complete_frames(self):
+        with pytest.raises(RuntimeError):
+            PhaseController().validate_against_period(1 / 120)
+
+    def test_history_records_sequence(self):
+        controller = PhaseController()
+        controller.run_frame(1e-3, 1e-6, 1e-6, 1e-6, 1e-6)
+        assert controller.history[0] is Phase.HOLD
+        assert controller.history[-1] is Phase.HOLD
+        assert Phase.EVENTIFY_POS in controller.history
+
+
+class TestCrcAndEcc:
+    def test_crc_known_vector(self):
+        # CRC-16/X25 of "123456789" is 0x906E.
+        assert crc16_x25(b"123456789") == 0x906E
+
+    def test_crc_detects_flip(self):
+        data = bytes(range(64))
+        corrupted = bytes([data[0] ^ 1]) + data[1:]
+        assert crc16_x25(data) != crc16_x25(corrupted)
+
+    def test_ecc_changes_with_header(self):
+        assert header_ecc(0x00AB12) != header_ecc(0x00AB13)
+
+    def test_ecc_range_check(self):
+        with pytest.raises(ValueError):
+            header_ecc(1 << 24)
+
+
+class TestCsiPacketizer:
+    @given(
+        codes=st.lists(st.integers(0, 1023), min_size=0, max_size=400),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_codes_roundtrip(self, codes):
+        packetizer = CsiPacketizer(max_payload_bytes=128)
+        arr = np.array(codes, dtype=np.int64)
+        packets = packetizer.pack_codes(arr)
+        back = packetizer.unpack_codes(packets, num_pixels=arr.size)
+        np.testing.assert_array_equal(back, arr)
+
+    def test_raw10_packing_density(self):
+        """RAW10 packs 4 pixels into 5 bytes."""
+        packetizer = CsiPacketizer()
+        packets = packetizer.pack_codes(np.zeros(400, dtype=np.int64))
+        payload = sum(len(p.payload) for p in packets)
+        assert payload == 400 * 5 // 4
+
+    def test_corrupted_payload_detected(self):
+        packetizer = CsiPacketizer()
+        packets = packetizer.pack_bytes(bytes(range(100)))
+        bad = packets[0]
+        tampered = type(bad)(
+            data_id=bad.data_id,
+            payload=bytes([bad.payload[0] ^ 0xFF]) + bad.payload[1:],
+            ecc=bad.ecc,
+            checksum=bad.checksum,
+        )
+        with pytest.raises(ValueError):
+            packetizer.unpack_bytes([tampered])
+
+    def test_corrupted_header_detected(self):
+        packetizer = CsiPacketizer()
+        packets = packetizer.pack_bytes(bytes(range(10)))
+        bad = packets[0]
+        tampered = type(bad)(
+            data_id=bad.data_id,
+            payload=bad.payload + b"\x00",  # word count now wrong
+            ecc=bad.ecc,
+            checksum=crc16_x25(bad.payload + b"\x00"),
+        )
+        with pytest.raises(ValueError):
+            packetizer.unpack_bytes([tampered])
+
+    def test_large_stream_splits_into_packets(self):
+        packetizer = CsiPacketizer(max_payload_bytes=256)
+        packets = packetizer.pack_bytes(bytes(1000))
+        assert len(packets) == 4
+        assert packetizer.unpack_bytes(packets) == bytes(1000)
+
+    def test_wire_overhead_small_for_real_payloads(self):
+        """Framing overhead on a BlissCam-sized sparse payload is ~<1 %."""
+        packetizer = CsiPacketizer()
+        sampled_pixels = 12_400  # ~4.85 % of 640x400
+        packets = packetizer.pack_codes(
+            np.random.default_rng(0).integers(1, 1024, sampled_pixels)
+        )
+        payload = sum(len(p.payload) for p in packets)
+        overhead = packetizer.wire_bytes(packets) / payload - 1
+        assert overhead < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsiPacketizer(max_payload_bytes=0)
+        with pytest.raises(ValueError):
+            CsiPacketizer().pack_codes(np.array([5000]))
+        packetizer = CsiPacketizer()
+        packets = packetizer.pack_codes(np.arange(4))
+        with pytest.raises(ValueError):
+            packetizer.unpack_codes(packets, num_pixels=100)

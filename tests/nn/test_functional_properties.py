@@ -1,0 +1,140 @@
+"""Property-based tests for the numerical kernels in repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import functional as F
+
+small_floats = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+
+
+class TestSoftmax:
+    @given(
+        x=hnp.arrays(np.float64, hnp.array_shapes(min_dims=1, max_dims=3,
+                                                  min_side=1, max_side=6),
+                     elements=small_floats)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rows_sum_to_one(self, x):
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-12)
+        assert (out >= 0).all()
+
+    @given(
+        x=hnp.arrays(np.float64, (3, 5), elements=small_floats),
+        shift=small_floats,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, x, shift):
+        np.testing.assert_allclose(
+            F.softmax(x), F.softmax(x + shift), atol=1e-10
+        )
+
+    def test_extreme_values_stable(self):
+        x = np.array([[1e8, -1e8, 0.0]])
+        out = F.softmax(x)
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    @given(x=hnp.arrays(np.float64, (2, 4), elements=small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_log_softmax_consistency(self, x):
+        np.testing.assert_allclose(
+            np.exp(F.log_softmax(x)), F.softmax(x), atol=1e-10
+        )
+
+
+class TestIm2Col:
+    @given(
+        batch=st.integers(1, 2),
+        channels=st.integers(1, 3),
+        size=st.integers(4, 9),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(
+        self, batch, channels, size, kernel, stride, padding
+    ):
+        """<im2col(x), y> == <x, col2im(y)> — the defining property used
+        by the convolution backward pass."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((batch, channels, size, size))
+        cols, oh, ow = F.im2col(x, kernel, stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * F.col2im(y, x.shape, kernel, stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-10)
+
+    def test_known_unfold(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols, oh, ow = F.im2col(x, kernel=2, stride=2, padding=0)
+        assert (oh, ow) == (2, 2)
+        # First window is the top-left 2x2 block.
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 4, 5])
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, kernel=5, stride=1, padding=0)
+
+
+class TestPatchify:
+    @given(
+        batch=st.integers(1, 2),
+        channels=st.integers(1, 3),
+        grid=st.integers(1, 4),
+        patch=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, batch, channels, grid, patch):
+        size = grid * patch
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((batch, channels, size, size))
+        tokens = F.patchify(x, patch)
+        assert tokens.shape == (batch, grid * grid, channels * patch * patch)
+        back = F.unpatchify(tokens, patch, channels, size, size)
+        np.testing.assert_array_equal(back, x)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            F.patchify(np.zeros((1, 1, 10, 10)), patch=3)
+
+    def test_unpatchify_validates(self):
+        with pytest.raises(ValueError):
+            F.unpatchify(np.zeros((1, 3, 16)), patch=4, channels=1,
+                         height=8, width=8)
+
+
+class TestOneHotAndGelu:
+    @given(
+        labels=hnp.arrays(np.int64, (3, 4), elements=st.integers(0, 4)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_one_hot_rows(self, labels):
+        out = F.one_hot(labels, 5)
+        assert out.shape == (3, 4, 5)
+        np.testing.assert_array_equal(out.sum(axis=-1), 1.0)
+        np.testing.assert_array_equal(out.argmax(axis=-1), labels)
+
+    def test_one_hot_range_check(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([5]), 4)
+
+    @given(x=hnp.arrays(np.float64, (20,), elements=st.floats(-5, 5)))
+    @settings(max_examples=20, deadline=None)
+    def test_gelu_grad_matches_numeric(self, x):
+        eps = 1e-6
+        numeric = (F.gelu(x + eps) - F.gelu(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(F.gelu_grad(x), numeric, atol=1e-6)
+
+    def test_gelu_asymptotes(self):
+        assert F.gelu(np.array([10.0]))[0] == pytest.approx(10.0, abs=1e-6)
+        assert F.gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = F.sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == 0.0 and out[1] == 1.0

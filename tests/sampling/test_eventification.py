@@ -1,0 +1,84 @@
+"""Tests for eventification (Eqn. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import DEFAULT_SIGMA, event_density, eventify
+
+
+class TestEventify:
+    def test_no_change_no_events(self):
+        frame = np.random.default_rng(0).random((16, 16))
+        assert not eventify(frame, frame).any()
+
+    def test_large_change_triggers_event(self):
+        prev = np.zeros((8, 8))
+        cur = np.zeros((8, 8))
+        cur[3, 4] = 0.5
+        events = eventify(prev, cur)
+        assert events[3, 4]
+        assert events.sum() == 1
+
+    def test_bipolar_thresholds(self):
+        """Both +sigma and -sigma changes produce events (Fig. 10, Vth1/Vth2)."""
+        prev = np.full((4, 4), 0.5)
+        cur = prev.copy()
+        cur[0, 0] += 0.2
+        cur[1, 1] -= 0.2
+        events = eventify(prev, cur)
+        assert events[0, 0] and events[1, 1]
+
+    def test_sub_threshold_change_ignored(self):
+        prev = np.zeros((4, 4))
+        cur = np.full((4, 4), DEFAULT_SIGMA * 0.9)
+        assert not eventify(prev, cur).any()
+
+    def test_default_sigma_matches_paper(self):
+        # sigma = 15 on the 8-bit scale.
+        assert DEFAULT_SIGMA == pytest.approx(15 / 255)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            eventify(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            eventify(np.zeros((2, 2)), np.zeros((2, 2)), sigma=-0.1)
+
+    @given(sigma=st.floats(0.0, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_event_count_monotone_in_sigma(self, sigma):
+        rng = np.random.default_rng(1)
+        prev, cur = rng.random((12, 12)), rng.random((12, 12))
+        tight = eventify(prev, cur, sigma=sigma)
+        loose = eventify(prev, cur, sigma=sigma + 0.1)
+        # Raising the threshold can only remove events.
+        assert not (loose & ~tight).any()
+
+    def test_moving_eye_produces_localized_events(self):
+        """Events concentrate on the moving foreground in synthetic frames."""
+        from repro.synth import EyeGeometry, EyeRenderer, EyeState
+
+        rng = np.random.default_rng(0)
+        renderer = EyeRenderer(EyeGeometry(), 64, 64, rng)
+        a = renderer.render(EyeState(gaze_h=0.0))
+        b = renderer.render(EyeState(gaze_h=12.0))
+        events = eventify(a.image, b.image)
+        assert events.any()
+        # Every event lies inside the union of the two foregrounds (background
+        # is static by construction).
+        fg = (a.segmentation != 0) | (b.segmentation != 0)
+        assert np.all(fg[events])
+
+
+class TestEventDensity:
+    def test_density_range(self):
+        events = np.zeros((10, 10), dtype=bool)
+        events[:5] = True
+        assert event_density(events) == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            event_density(np.zeros((0,), dtype=bool))

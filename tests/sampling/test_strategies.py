@@ -1,0 +1,175 @@
+"""Tests for sampling masks and the Fig. 15 strategy zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    FullDownsample,
+    FullRandom,
+    ROIDownsample,
+    ROIFixed,
+    ROILearned,
+    ROIRandom,
+    SkipStrategy,
+    apply_mask,
+    effective_compression,
+    random_mask,
+    random_mask_in_box,
+    uniform_grid_mask,
+    uniform_mask_in_box,
+)
+
+RNG = np.random.default_rng(0)
+SHAPE = (48, 48)
+
+
+class TestMasks:
+    def test_random_mask_rate(self):
+        mask = random_mask((200, 200), 0.2, np.random.default_rng(1))
+        assert abs(mask.mean() - 0.2) < 0.02
+
+    def test_uniform_grid_rate(self):
+        mask = uniform_grid_mask((100, 100), 0.25)
+        assert abs(mask.mean() - 0.25) < 0.05
+
+    def test_random_in_box_stays_in_box(self):
+        box = (10, 10, 30, 30)
+        mask = random_mask_in_box(SHAPE, box, 0.5, RNG)
+        outside = mask.copy()
+        outside[10:30, 10:30] = False
+        assert not outside.any()
+        assert mask[10:30, 10:30].mean() > 0.3
+
+    def test_uniform_in_box_stays_in_box(self):
+        box = (4, 8, 20, 40)
+        mask = uniform_mask_in_box(SHAPE, box, 0.25)
+        outside = mask.copy()
+        outside[4:20, 8:40] = False
+        assert not outside.any()
+        assert mask.any()
+
+    def test_apply_mask_zeroes(self):
+        frame = np.ones(SHAPE)
+        mask = np.zeros(SHAPE, dtype=bool)
+        mask[0, 0] = True
+        sparse = apply_mask(frame, mask)
+        assert sparse.sum() == 1.0
+
+    def test_effective_compression(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[:5, :2] = True  # 10 of 100
+        assert effective_compression(mask) == pytest.approx(10.0)
+
+    def test_empty_mask_infinite_compression(self):
+        assert effective_compression(np.zeros((4, 4), dtype=bool)) == float("inf")
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_invalid_rates_raise(self, rate):
+        with pytest.raises(ValueError):
+            random_mask(SHAPE, rate, RNG)
+
+
+def _fixture_frame():
+    rng = np.random.default_rng(3)
+    frame = rng.random(SHAPE)
+    event = rng.random(SHAPE) < 0.1
+    box = (12, 12, 36, 36)
+    return frame, event, box
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "cls", [FullRandom, FullDownsample, ROIDownsample, ROIRandom, ROILearned]
+    )
+    def test_compression_near_target(self, cls):
+        frame, event, box = _fixture_frame()
+        strategy = cls(compression=8.0)
+        decision = strategy.sample(frame, event, box, np.random.default_rng(5))
+        assert decision.transmitted_pixels > 0
+        assert 4.0 < decision.compression < 20.0
+
+    def test_roi_random_respects_roi(self):
+        frame, event, box = _fixture_frame()
+        decision = ROIRandom(8.0).sample(frame, event, box, RNG)
+        outside = decision.mask.copy()
+        outside[box[0] : box[2], box[1] : box[3]] = False
+        assert not outside.any()
+
+    def test_roi_strategies_fall_back_to_full_frame(self):
+        frame, event, _ = _fixture_frame()
+        decision = ROIRandom(8.0).sample(frame, event, None, RNG)
+        assert decision.roi_box == (0, 0, *SHAPE)
+
+    def test_full_random_ignores_roi(self):
+        frame, event, box = _fixture_frame()
+        decision = FullRandom(4.0).sample(frame, event, box, np.random.default_rng(7))
+        outside = decision.mask.copy()
+        outside[box[0] : box[2], box[1] : box[3]] = False
+        assert outside.any()  # samples exist outside the ROI
+
+    def test_skip_reuses_on_quiet_frames(self):
+        frame, _, box = _fixture_frame()
+        quiet = np.zeros(SHAPE, dtype=bool)
+        strategy = SkipStrategy(compression=4.0)
+        decision = strategy.sample(frame, quiet, box, RNG)
+        assert decision.reuse_previous
+        assert decision.transmitted_pixels == 0
+
+    def test_skip_sends_on_active_frames(self):
+        frame, _, box = _fixture_frame()
+        busy = np.ones(SHAPE, dtype=bool)
+        strategy = SkipStrategy(compression=4.0)
+        decision = strategy.sample(frame, busy, box, RNG)
+        assert not decision.reuse_previous
+        assert decision.transmitted_pixels == frame.size
+
+    def test_roi_fixed_requires_fit(self):
+        frame, event, box = _fixture_frame()
+        with pytest.raises(RuntimeError):
+            ROIFixed(8.0).sample(frame, event, box, RNG)
+
+    def test_roi_fixed_uses_statistics(self):
+        frame, event, box = _fixture_frame()
+        # Budget (2304/36 = 64) exactly matches the 8x8 always-foreground
+        # region, so every selected pixel must lie inside it.
+        strategy = ROIFixed(compression=36.0)
+        fg = np.zeros((5, *SHAPE), dtype=bool)
+        fg[:, 20:28, 20:28] = True  # foreground always in the center
+        strategy.fit(fg)
+        decision = strategy.sample(frame, event, box, RNG)
+        rows, cols = np.nonzero(decision.mask)
+        assert rows.min() >= 20 and rows.max() < 28
+        assert cols.min() >= 20 and cols.max() < 28
+        assert decision.transmitted_pixels == 64
+
+    def test_roi_learned_budget_exact(self):
+        frame, event, box = _fixture_frame()
+        decision = ROILearned(compression=16.0).sample(frame, event, box, RNG)
+        assert decision.transmitted_pixels <= round(frame.size / 16.0)
+
+    def test_roi_learned_custom_scorer(self):
+        frame, event, box = _fixture_frame()
+        scores = np.zeros(SHAPE)
+        scores[15, 15] = 10.0
+        decision = ROILearned(
+            compression=frame.size, scorer=lambda f, e: scores
+        ).sample(frame, event, box, RNG)
+        assert decision.mask[15, 15]
+
+    def test_rejects_compression_below_one(self):
+        with pytest.raises(ValueError):
+            FullRandom(0.5)
+
+    @given(compression=st.floats(2.0, 50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_frame_zero_outside_mask(self, compression):
+        frame, event, box = _fixture_frame()
+        decision = ROIRandom(compression).sample(
+            frame, event, box, np.random.default_rng(11)
+        )
+        assert np.all(decision.sparse_frame[~decision.mask] == 0)
+        np.testing.assert_array_equal(
+            decision.sparse_frame[decision.mask], frame[decision.mask]
+        )

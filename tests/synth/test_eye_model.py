@@ -1,0 +1,77 @@
+"""Tests for the geometric eye model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import EyeGeometry, EyeState
+
+
+class TestPupilGeometry:
+    def test_neutral_gaze_is_centered(self):
+        geo = EyeGeometry()
+        row, col = geo.pupil_center(0.0, 0.0)
+        assert row == pytest.approx(geo.center[0])
+        assert col == pytest.approx(geo.center[1])
+
+    def test_horizontal_gaze_moves_column(self):
+        geo = EyeGeometry()
+        _, col_right = geo.pupil_center(10.0, 0.0)
+        _, col_left = geo.pupil_center(-10.0, 0.0)
+        assert col_right > geo.center[1] > col_left
+
+    def test_vertical_gaze_moves_row(self):
+        geo = EyeGeometry()
+        row_up, _ = geo.pupil_center(0.0, 10.0)
+        row_down, _ = geo.pupil_center(0.0, -10.0)
+        # Looking up -> pupil appears higher in the image (smaller row).
+        assert row_up < geo.center[0] < row_down
+
+    @given(
+        gaze_h=st.floats(-25, 25),
+        gaze_v=st.floats(-25, 25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gaze_roundtrip(self, gaze_h, gaze_v):
+        """pupil_center and gaze_from_pupil are exact inverses."""
+        geo = EyeGeometry()
+        row, col = geo.pupil_center(gaze_h, gaze_v)
+        back_h, back_v = geo.gaze_from_pupil(row, col)
+        assert back_h == pytest.approx(gaze_h, abs=1e-9)
+        assert back_v == pytest.approx(gaze_v, abs=1e-9)
+
+    def test_foreshortening_is_one_at_neutral(self):
+        geo = EyeGeometry()
+        fv, fh = geo.foreshortening(0.0, 0.0)
+        assert fv == pytest.approx(1.0)
+        assert fh == pytest.approx(1.0)
+
+    def test_foreshortening_shrinks_with_eccentricity(self):
+        geo = EyeGeometry()
+        fv, fh = geo.foreshortening(20.0, 15.0)
+        assert fh < 1.0 and fv < 1.0
+
+    def test_random_geometry_is_reproducible(self):
+        a = EyeGeometry.random(np.random.default_rng(7))
+        b = EyeGeometry.random(np.random.default_rng(7))
+        assert a == b
+
+    def test_random_geometry_varies_with_seed(self):
+        a = EyeGeometry.random(np.random.default_rng(1))
+        b = EyeGeometry.random(np.random.default_rng(2))
+        assert a != b
+
+
+class TestEyeState:
+    def test_clipped_limits_gaze(self):
+        geo = EyeGeometry(max_angle_deg=20.0)
+        state = EyeState(gaze_h=50.0, gaze_v=-50.0).clipped(geo)
+        assert state.gaze_h == 20.0
+        assert state.gaze_v == -20.0
+
+    def test_clipped_preserves_flags(self):
+        geo = EyeGeometry()
+        state = EyeState(gaze_h=1.0, gaze_v=1.0, in_saccade=True, in_blink=True)
+        clipped = state.clipped(geo)
+        assert clipped.in_saccade and clipped.in_blink

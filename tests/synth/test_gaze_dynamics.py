@@ -1,0 +1,92 @@
+"""Tests for oculomotor dynamics generation."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    EyeGeometry,
+    GazeDynamicsConfig,
+    GazeSequenceGenerator,
+    main_sequence_peak_velocity,
+)
+
+
+def make_gen(seed=0, fps=120.0, config=None):
+    rng = np.random.default_rng(seed)
+    return GazeSequenceGenerator(EyeGeometry(), fps, rng, config)
+
+
+class TestMainSequence:
+    def test_velocity_increases_with_amplitude(self):
+        assert main_sequence_peak_velocity(20.0) > main_sequence_peak_velocity(5.0)
+
+    def test_velocity_saturates_below_700(self):
+        assert main_sequence_peak_velocity(1000.0) <= 700.0
+
+    def test_small_amplitude_small_velocity(self):
+        assert main_sequence_peak_velocity(0.5) < 50.0
+
+
+class TestGazeSequenceGenerator:
+    def test_generates_requested_length(self):
+        gen = make_gen()
+        states = gen.generate(50)
+        assert len(states) == 50
+
+    def test_reproducible_with_seed(self):
+        a = make_gen(seed=3).generate(100)
+        b = make_gen(seed=3).generate(100)
+        assert all(
+            s1.gaze_h == s2.gaze_h and s1.gaze_v == s2.gaze_v
+            for s1, s2 in zip(a, b)
+        )
+
+    def test_gaze_stays_in_cone(self):
+        gen = make_gen(seed=5)
+        limit = EyeGeometry().max_angle_deg
+        for state in gen.generate(2000):
+            assert abs(state.gaze_h) <= limit + 1e-9
+            assert abs(state.gaze_v) <= limit + 1e-9
+
+    def test_saccades_occur(self):
+        gen = make_gen(seed=1)
+        states = gen.generate(2000)
+        assert any(s.in_saccade for s in states)
+
+    def test_blinks_occur_and_close_lid(self):
+        cfg = GazeDynamicsConfig(blink_rate_hz=3.0)
+        gen = make_gen(seed=2, config=cfg)
+        states = gen.generate(2000)
+        blink_states = [s for s in states if s.in_blink]
+        assert blink_states
+        assert min(s.lid_aperture for s in blink_states) < 0.5
+
+    def test_lid_open_outside_blinks(self):
+        gen = make_gen(seed=4)
+        for state in gen.generate(500):
+            if not state.in_blink:
+                assert state.lid_aperture == 1.0
+
+    def test_saccade_speed_is_physiological(self):
+        """Frame-to-frame velocity never exceeds the 700 deg/s main-sequence cap."""
+        fps = 500.0
+        gen = make_gen(seed=6, fps=fps)
+        states = gen.generate(3000)
+        gaze = np.array([[s.gaze_h, s.gaze_v] for s in states])
+        speed = np.linalg.norm(np.diff(gaze, axis=0), axis=1) * fps
+        # Minimum-jerk peak velocity is 1.875x mean; with our duration rule the
+        # peak stays at/below the main-sequence cap (plus drift/tremor slack).
+        assert speed.max() < 800.0
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ValueError):
+            make_gen(fps=0.0)
+
+    def test_rejects_negative_frames(self):
+        with pytest.raises(ValueError):
+            make_gen().generate(-1)
+
+    def test_dilation_stays_bounded(self):
+        gen = make_gen(seed=8)
+        for state in gen.generate(1000):
+            assert 0.7 <= state.dilation <= 1.3

@@ -1,0 +1,163 @@
+"""Tests for the renderer, noise model, and dataset plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (
+    SEG_CLASSES,
+    DatasetConfig,
+    EyeGeometry,
+    EyeRenderer,
+    EyeState,
+    NoiseConfig,
+    SensorNoiseModel,
+    SyntheticEyeDataset,
+    exposure_for_fps,
+)
+
+
+def render_one(state=None, height=48, width=48, seed=0):
+    rng = np.random.default_rng(seed)
+    geo = EyeGeometry()
+    renderer = EyeRenderer(geo, height, width, rng)
+    return renderer.render(state or EyeState())
+
+
+class TestRenderer:
+    def test_image_range_and_shape(self):
+        frame = render_one()
+        assert frame.image.shape == (48, 48)
+        assert frame.image.min() >= 0.0 and frame.image.max() <= 1.0
+
+    def test_all_four_classes_present_at_neutral_gaze(self):
+        frame = render_one()
+        assert set(np.unique(frame.segmentation)) == set(SEG_CLASSES.values())
+
+    def test_pupil_darker_than_sclera(self):
+        frame = render_one()
+        pupil = frame.image[frame.segmentation == SEG_CLASSES["pupil"]]
+        sclera = frame.image[frame.segmentation == SEG_CLASSES["sclera"]]
+        assert pupil.mean() < sclera.mean()
+
+    def test_roi_box_covers_foreground(self):
+        frame = render_one()
+        r0, c0, r1, c1 = frame.roi_box
+        fg = frame.segmentation != SEG_CLASSES["background"]
+        rows, cols = np.nonzero(fg)
+        assert r0 <= rows.min() and rows.max() < r1
+        assert c0 <= cols.min() and cols.max() < c1
+
+    def test_blink_removes_foreground(self):
+        frame = render_one(EyeState(lid_aperture=0.0))
+        assert frame.roi_box is None
+        assert np.all(frame.segmentation == SEG_CLASSES["background"])
+
+    def test_background_is_static_across_states(self):
+        rng = np.random.default_rng(0)
+        renderer = EyeRenderer(EyeGeometry(), 48, 48, rng)
+        a = renderer.render(EyeState(gaze_h=0.0))
+        b = renderer.render(EyeState(gaze_h=15.0))
+        bg_both = (a.segmentation == 0) & (b.segmentation == 0)
+        np.testing.assert_array_equal(a.image[bg_both], b.image[bg_both])
+
+    @given(gaze_h=st.floats(-20, 20), gaze_v=st.floats(-15, 15))
+    @settings(max_examples=20, deadline=None)
+    def test_pupil_centroid_tracks_gaze(self, gaze_h, gaze_v):
+        frame = render_one(EyeState(gaze_h=gaze_h, gaze_v=gaze_v), height=64, width=64)
+        mask = frame.segmentation == SEG_CLASSES["pupil"]
+        if mask.sum() < 10:  # pupil may be clipped by lids at extremes
+            return
+        rows, cols = np.nonzero(mask)
+        geo = EyeGeometry()
+        exp_row, exp_col = geo.pupil_center(gaze_h, gaze_v)
+        assert (rows.mean() + 0.5) / 64 == pytest.approx(exp_row, abs=0.06)
+        assert (cols.mean() + 0.5) / 64 == pytest.approx(exp_col, abs=0.06)
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            EyeRenderer(EyeGeometry(), 4, 4, np.random.default_rng(0))
+
+
+class TestNoise:
+    def test_exposure_for_fps_matches_paper(self):
+        # Paper quotes ~8.3 ms exposure at 120 FPS.
+        assert exposure_for_fps(120.0) == pytest.approx(8.3e-3, rel=0.01)
+
+    def test_snr_improves_with_exposure(self):
+        model = SensorNoiseModel()
+        assert model.snr_db(0.5, 8e-3) > model.snr_db(0.5, 2e-3)
+
+    def test_snr_drop_is_sqrt_like(self):
+        """Shot-noise-limited SNR gains ~3 dB per exposure doubling."""
+        model = SensorNoiseModel()
+        gain = model.snr_db(0.5, 8e-3) - model.snr_db(0.5, 4e-3)
+        assert 2.0 < gain < 4.0
+
+    def test_apply_is_bounded_and_quantized(self):
+        model = SensorNoiseModel(seed=1)
+        clean = np.linspace(0, 1, 32 * 32).reshape(32, 32)
+        noisy = model.apply(clean, exposure_for_fps(120))
+        assert noisy.min() >= 0 and noisy.max() <= 1
+        levels = noisy * (2**10 - 1)
+        np.testing.assert_allclose(levels, np.round(levels), atol=1e-9)
+
+    def test_noise_grows_at_short_exposure(self):
+        model_a = SensorNoiseModel(seed=0)
+        model_b = SensorNoiseModel(seed=0)
+        clean = np.full((64, 64), 0.5)
+        err_long = np.abs(model_a.apply(clean, 8e-3) - clean).mean()
+        err_short = np.abs(model_b.apply(clean, 1e-3) - clean).mean()
+        assert err_short > err_long
+
+    def test_rejects_nonpositive_exposure(self):
+        with pytest.raises(ValueError):
+            SensorNoiseModel().apply(np.zeros((4, 4)), 0.0)
+
+
+class TestDataset:
+    def test_shapes_and_determinism(self):
+        cfg = DatasetConfig(height=32, width=32, frames_per_sequence=6, num_sequences=2)
+        ds1, ds2 = SyntheticEyeDataset(cfg), SyntheticEyeDataset(cfg)
+        s1, s2 = ds1[0], ds2[0]
+        assert s1.frames.shape == (6, 32, 32)
+        np.testing.assert_array_equal(s1.frames, s2.frames)
+        np.testing.assert_array_equal(s1.segmentations, s2.segmentations)
+
+    def test_sequences_differ(self):
+        ds = SyntheticEyeDataset(
+            DatasetConfig(height=32, width=32, frames_per_sequence=4, num_sequences=2)
+        )
+        assert not np.array_equal(ds[0].frames, ds[1].frames)
+
+    def test_split_is_disjoint_and_complete(self):
+        ds = SyntheticEyeDataset(DatasetConfig(num_sequences=8, frames_per_sequence=2))
+        train, val = ds.split(0.75)
+        assert set(train) | set(val) == set(range(8))
+        assert not set(train) & set(val)
+
+    def test_frame_pairs_iteration(self):
+        cfg = DatasetConfig(height=32, width=32, frames_per_sequence=5, num_sequences=2)
+        ds = SyntheticEyeDataset(cfg)
+        pairs = list(ds.frame_pairs())
+        assert len(pairs) == 2 * 4  # (T-1) per sequence
+        prev, cur, seg, gaze, box, seq_idx, t = pairs[0]
+        assert prev.shape == (32, 32) and cur.shape == (32, 32)
+        assert t == 1
+
+    def test_clean_frames_when_noise_disabled(self):
+        cfg = DatasetConfig(
+            height=32, width=32, frames_per_sequence=3, num_sequences=1, apply_noise=False
+        )
+        seq = SyntheticEyeDataset(cfg)[0]
+        np.testing.assert_array_equal(seq.frames, seq.clean_frames)
+
+    def test_rejects_single_frame_sequences(self):
+        with pytest.raises(ValueError):
+            SyntheticEyeDataset(DatasetConfig(frames_per_sequence=1))
+
+    def test_index_error(self):
+        ds = SyntheticEyeDataset(DatasetConfig(num_sequences=1, frames_per_sequence=2))
+        with pytest.raises(IndexError):
+            ds[5]

@@ -1,0 +1,86 @@
+"""Tests for the learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Parameter
+from repro.training.schedules import ReduceOnPlateau, WarmupCosineScheduler
+
+
+def make_optimizer(lr=1.0):
+    return Adam([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_linearly(self):
+        opt = make_optimizer()
+        sched = WarmupCosineScheduler(opt, base_lr=1.0, total_epochs=20, warmup_epochs=4)
+        lrs = [sched.optimizer.lr] + [sched.step() for _ in range(3)]
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_decays_to_min_lr(self):
+        opt = make_optimizer()
+        sched = WarmupCosineScheduler(
+            opt, base_lr=1.0, total_epochs=10, warmup_epochs=0, min_lr=0.1
+        )
+        for _ in range(20):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_monotone_after_warmup(self):
+        opt = make_optimizer()
+        sched = WarmupCosineScheduler(opt, base_lr=1.0, total_epochs=30, warmup_epochs=5)
+        lrs = [sched.lr_at(e) for e in range(5, 30)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_peak_is_base_lr(self):
+        opt = make_optimizer()
+        sched = WarmupCosineScheduler(opt, base_lr=0.3, total_epochs=10, warmup_epochs=2)
+        assert max(sched.lr_at(e) for e in range(10)) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosineScheduler(make_optimizer(), 1.0, total_epochs=0)
+        with pytest.raises(ValueError):
+            WarmupCosineScheduler(make_optimizer(), 1.0, total_epochs=5, warmup_epochs=5)
+        with pytest.raises(ValueError):
+            WarmupCosineScheduler(make_optimizer(), -1.0, total_epochs=5)
+
+
+class TestReduceOnPlateau:
+    def test_improvement_keeps_lr(self):
+        opt = make_optimizer(lr=1.0)
+        sched = ReduceOnPlateau(opt, patience=2)
+        for metric in (1.0, 0.9, 0.8, 0.7):
+            sched.step(metric)
+        assert opt.lr == 1.0
+
+    def test_plateau_halves_lr(self):
+        opt = make_optimizer(lr=1.0)
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_respects_min_lr(self):
+        opt = make_optimizer(lr=1e-5)
+        sched = ReduceOnPlateau(opt, factor=0.1, patience=1, min_lr=1e-6)
+        for _ in range(10):
+            sched.step(1.0)
+        assert opt.lr == pytest.approx(1e-6)
+
+    def test_counter_resets_after_reduction(self):
+        opt = make_optimizer(lr=1.0)
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=2)
+        for _ in range(4):  # two reductions need four stalls
+            sched.step(1.0)
+        # first stall pair -> 0.5; second pair (stall counter reset) -> 0.25
+        sched.step(1.0)
+        assert opt.lr in (pytest.approx(0.25), pytest.approx(0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(make_optimizer(), factor=1.5)
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(make_optimizer(), patience=0)
