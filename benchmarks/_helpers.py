@@ -7,6 +7,11 @@ a ``[paper-vs-measured]`` comparison block.  Accuracy experiments run the
 latency and area experiments query the calibrated hardware models.
 
 Run with ``pytest benchmarks/ --benchmark-only``.
+
+All live-pipeline benchmarks (Figs. 12-16, Table I, ablations) execute on
+the shared :mod:`repro.engine` stage runtime — the same graphs the CLI
+and the test suite run — so the numbers they report exercise the
+production code path, not a parallel harness.
 """
 
 from __future__ import annotations
@@ -64,13 +69,18 @@ def bench_vit(seed: int = 1) -> ViTSegmenter:
     return ViTSegmenter(cfg, np.random.default_rng(seed))
 
 
-def bench_pipeline_config(fps: float = 120.0, seed: int = 0):
+def bench_pipeline_config(
+    fps: float = 120.0,
+    seed: int = 0,
+    num_sequences: int = BENCH_SEQUENCES,
+    frames_per_sequence: int = BENCH_FRAMES,
+):
     from dataclasses import replace
 
     config = ci(
         seed=seed,
-        num_sequences=BENCH_SEQUENCES,
-        frames_per_sequence=BENCH_FRAMES,
+        num_sequences=num_sequences,
+        frames_per_sequence=frames_per_sequence,
         fps=fps,
     )
     return replace(

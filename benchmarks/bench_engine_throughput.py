@@ -1,0 +1,59 @@
+"""Engine throughput: sequential loop vs batched lockstep execution.
+
+Not a paper figure — this benchmark seeds the performance trajectory of
+the staged execution engine (``repro.engine``).  It trains one tracker,
+evaluates the same held-out sequences in both execution modes (via the
+shared :mod:`repro.core.throughput` harness the CLI also uses), verifies
+the results are bitwise identical, and reports frames/sec plus the
+per-stage wall-clock attribution the engine collects (the measured
+counterpart of the Figs. 13/14 breakdowns).
+
+Writes ``BENCH_engine.json`` at the repository root so successive PRs can
+track the loop-vs-batched trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from _helpers import bench_pipeline_config, once
+from repro.core import BlissCamPipeline
+from repro.core.throughput import measure_throughput, throughput_tables
+
+#: Wide evaluation rank: lockstep batching pays off when many sequences
+#: run together (production batch serving), so the bench evaluates 30.
+SEQUENCES = 32
+FRAMES = 12
+TRAIN_INDICES = [0, 1]
+EVAL_INDICES = list(range(2, SEQUENCES))
+
+#: The PR acceptance bar for the batched mode at CI scale.
+TARGET_SPEEDUP = 1.5
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def run_engine_throughput() -> dict:
+    config = bench_pipeline_config(
+        seed=11, num_sequences=SEQUENCES, frames_per_sequence=FRAMES
+    )
+    pipeline = BlissCamPipeline(config)
+    pipeline.train(TRAIN_INDICES)
+    record = measure_throughput(pipeline, EVAL_INDICES, repeats=3)
+    _RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def test_engine_throughput(benchmark):
+    record = once(benchmark, run_engine_throughput)
+
+    print()
+    for table in throughput_tables(record):
+        print(table.render())
+
+    assert record["bitwise_identical"], "batched mode diverged from sequential"
+    assert record["speedup"] >= TARGET_SPEEDUP, (
+        f"batched mode only {record['speedup']:.2f}x over sequential "
+        f"(target {TARGET_SPEEDUP}x)"
+    )

@@ -32,8 +32,12 @@ def main() -> None:
     ):
         print(f"  epoch {epoch}: segmentation loss {seg:.3f}, ROI loss {roi:.4f}")
 
-    print("\n[2/3] evaluating on held-out sequences...")
-    result = pipeline.evaluate()
+    print("\n[2/3] evaluating on held-out sequences (batched lockstep)...")
+    # Batched mode runs the held-out sequences through the staged engine
+    # in vectorized lockstep — bitwise-identical to the sequential loop,
+    # just faster (see docs/architecture.md and `python -m repro.cli
+    # throughput`).
+    result = pipeline.evaluate(batched=True)
 
     print("\n[3/3] results")
     table = Table(["metric", "value"])
@@ -61,6 +65,12 @@ def main() -> None:
         f"\nThe sensor transmitted {saved:.0%} fewer bytes than a full "
         f"{config.height}x{config.width} 10-bit frame ({full_frame_bytes} B)."
     )
+
+    timing_table = Table(["engine stage", "ms/frame"])
+    for name, timing in result.stage_timings.items():
+        timing_table.add_row(name, round(timing.seconds_per_frame * 1e3, 2))
+    print("\nPer-stage wall-clock attribution (engine timings):")
+    print(timing_table.render())
 
 
 if __name__ == "__main__":

@@ -13,6 +13,11 @@ records, shared between the ablation benchmarks and interactive use:
   the ROI predictor and segmenter in isolation;
 * :func:`sampling_rate_sweep` — accuracy vs in-ROI sampling rate (the
   knob behind the paper's 20 % operating point).
+
+The experiments that run the live system (:func:`joint_vs_separate`,
+:func:`sampling_rate_sweep`) are thin configurations over the shared
+:mod:`repro.engine` stage runtime — the same graphs the CLI and figure
+benchmarks execute.
 """
 
 from __future__ import annotations
@@ -140,20 +145,14 @@ def sampling_rate_sweep(
 
     ``segmenter_factory(rng)`` builds a fresh segmenter per point.  The
     rate is converted to the strategy's frame-level compression using the
-    dataset's typical ROI fraction.
+    dataset's typical ROI fraction.  Each point is one strategy-graph run
+    on the shared :mod:`repro.engine` runtime (via
+    :func:`~repro.core.variants.evaluate_strategy`).
     """
     train_idx, eval_idx = dataset.split()
-    seq = dataset[0]
-    total = seq.frames.shape[1] * seq.frames.shape[2]
-    roi_fraction = float(
-        np.mean(
-            [
-                (b[2] - b[0]) * (b[3] - b[1]) / total
-                for b in seq.roi_boxes
-                if b is not None
-            ]
-        )
-    )
+    roi_fraction = dataset.typical_roi_fraction(0)
+    if roi_fraction is None:
+        raise ValueError("dataset's first sequence has no foreground boxes")
     rows = []
     for rate in rates:
         rng = np.random.default_rng([seed, int(rate * 1e6)])

@@ -3,6 +3,7 @@
 Commands
 --------
 ``quickstart``   train + evaluate the end-to-end pipeline (CI scale)
+``throughput``   staged-engine frames/sec: sequential loop vs batched lockstep
 ``energy``       per-frame energy breakdown of the four variants
 ``latency``      tracking-latency breakdown of the four variants
 ``area``         Sec. VI-D area estimate
@@ -10,7 +11,8 @@ Commands
 ``sweep-fps``    energy saving vs frame rate
 ``sweep-node``   energy saving vs process nodes
 
-All hardware commands accept ``--fps`` (default 120).
+All hardware commands accept ``--fps`` (default 120).  The accuracy
+commands run on the shared :mod:`repro.engine` stage runtime.
 """
 
 from __future__ import annotations
@@ -44,6 +46,19 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     table.add_row("ROI IoU", round(result.stats.mean_roi_iou, 2))
     print(table.render())
     return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.core.throughput import measure_throughput, throughput_tables
+
+    pipeline = BlissCamPipeline(ci(num_sequences=10, frames_per_sequence=10))
+    print("training...")
+    pipeline.train([0, 1])
+    record = measure_throughput(pipeline, list(range(2, 10)), repeats=1)
+    for table in throughput_tables(record):
+        print(table.render())
+    print(f"batched == sequential (bitwise): {record['bitwise_identical']}")
+    return 0 if record["bitwise_identical"] else 1
 
 
 def _cmd_energy(args: argparse.Namespace) -> int:
@@ -142,6 +157,7 @@ def _cmd_sweep_node(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
+    "throughput": _cmd_throughput,
     "energy": _cmd_energy,
     "latency": _cmd_latency,
     "area": _cmd_area,

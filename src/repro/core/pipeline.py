@@ -21,11 +21,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine import EngineRun, StageTiming, build_tracking_graph, tracking_runner
 from repro.gaze.estimation import FittedGazeEstimator
 from repro.gaze.metrics import AngularErrorStats, angular_errors
 from repro.hardware.energy import WorkloadProfile
 from repro.hardware.sensor.sensor import BlissCamSensor
-from repro.sampling.roi import ROIPredictor, ROIReusePolicy, box_iou
+from repro.sampling.roi import ROIPredictor
 from repro.segmentation.vit import ViTSegmenter
 from repro.synth.dataset import SyntheticEyeDataset
 from repro.training.joint import JointTrainConfig, JointTrainer, JointTrainResult
@@ -106,6 +107,10 @@ class EvaluationResult:
     stats: WorkloadStats
     predictions: np.ndarray  # (N, 2)
     truths: np.ndarray  # (N, 2)
+    #: Wall-clock per-stage attribution from the engine run (stage name ->
+    #: :class:`~repro.engine.StageTiming`); the measured counterpart of the
+    #: Figs. 13/14 per-stage energy/latency breakdowns.
+    stage_timings: dict[str, StageTiming] | None = None
 
     @property
     def within_one_degree(self) -> bool:
@@ -133,6 +138,8 @@ class BlissCamPipeline:
         self.segmenter = ViTSegmenter(config.vit, self.rng)
         self.gaze_estimator = FittedGazeEstimator()
         self._train_result: JointTrainResult | None = None
+        self._roi_fraction_cache: float | None = None
+        self._sensor_templates: dict[int, BlissCamSensor] = {}
 
     # -- training ------------------------------------------------------------
     def train(self, train_indices: list[int] | None = None) -> JointTrainResult:
@@ -154,17 +161,17 @@ class BlissCamPipeline:
         return self._train_result
 
     def _typical_roi_fraction(self) -> float:
-        """Mean ground-truth foreground-box fraction over the first sequence."""
-        seq = self.dataset[0]
-        total = self.config.height * self.config.width
-        fractions = [
-            (b[2] - b[0]) * (b[3] - b[1]) / total
-            for b in seq.roi_boxes
-            if b is not None
-        ]
-        if not fractions:
-            return WorkloadProfile().roi_fraction
-        return float(np.mean(fractions))
+        """Mean ground-truth foreground-box fraction over the first sequence.
+
+        Memoized (both here and in the dataset): ``build_sensor`` asks for
+        it on every call and the answer is fixed for a given dataset.
+        """
+        if self._roi_fraction_cache is None:
+            fraction = self.dataset.typical_roi_fraction(0)
+            if fraction is None:
+                fraction = WorkloadProfile().roi_fraction
+            self._roi_fraction_cache = fraction
+        return self._roi_fraction_cache
 
     # -- evaluation ----------------------------------------------------------
     def build_sensor(self, seed: int = 1234) -> BlissCamSensor:
@@ -183,13 +190,9 @@ class BlissCamPipeline:
         height, width = self.config.height, self.config.width
         margin = self.config.roi_margin_px
 
-        def predictor_with_margin(event_map, prev_seg):
-            from repro.sampling.roi import (
-                box_from_pixels,
-                box_to_pixels,
-                expand_box,
-            )
+        from repro.sampling.roi import box_from_pixels, box_to_pixels, expand_box
 
+        def predictor_with_margin(event_map, prev_seg):
             box = self.roi_predictor.predict_box(event_map, prev_seg)
             pixel_box = box_to_pixels(box, height, width)
             pixel_box = expand_box(pixel_box, margin, height, width)
@@ -203,82 +206,70 @@ class BlissCamPipeline:
             seed=seed,
         )
 
+    def _sensor_template(self, seed: int) -> BlissCamSensor:
+        """A cached calibrated chip per seed; evaluation spawns per-sequence
+        runtime streams from it, so the expensive SRAM manufacture +
+        calibration happens once per (pipeline, seed)."""
+        if seed not in self._sensor_templates:
+            self._sensor_templates[seed] = self.build_sensor(seed=seed)
+        return self._sensor_templates[seed]
+
     def evaluate(
         self,
         eval_indices: list[int] | None = None,
         reuse_window: int = 1,
         sensor_seed: int = 1234,
+        batched: bool = False,
+        batch_size: int | None = None,
     ) -> EvaluationResult:
         """Run the functional sensor + host over held-out sequences.
 
-        ``reuse_window`` > 1 enables the Table-I ROI-reuse policy.
+        ``reuse_window`` > 1 enables the Table-I ROI-reuse policy (a
+        first-class engine stage).  ``batched`` runs the sequences in
+        vectorized lockstep — bitwise-identical results, higher
+        throughput; ``batch_size`` bounds the lockstep width.
         """
         if not self.gaze_estimator.is_fitted:
             raise RuntimeError("pipeline must be trained before evaluation")
         if eval_indices is None:
             _, eval_indices = self.dataset.split()
-        sensor = self.build_sensor(seed=sensor_seed)
-        reuse = ROIReusePolicy(window=reuse_window)
+        template = self._sensor_template(sensor_seed)
+        graph = build_tracking_graph(
+            predictor=template.roi_predictor,
+            segmenter=self.segmenter,
+            gaze_estimator=self.gaze_estimator,
+            height=self.config.height,
+            width=self.config.width,
+            reuse_window=reuse_window,
+        )
+        runner = tracking_runner(
+            sensor_template=template,
+            sensor_seed=sensor_seed,
+            graph=graph,
+            batch_size=batch_size,
+            # The collector below only needs gaze + stats per frame; drop
+            # the O(frame size) intermediates as the run streams.
+            retain_intermediates=False,
+        )
+        run = runner.run(
+            [(i, self.dataset[i]) for i in eval_indices], batched=batched
+        )
+        return self._collect_evaluation(run)
+
+    @staticmethod
+    def _collect_evaluation(run: EngineRun) -> EvaluationResult:
+        """Fold an engine run into accuracy + workload statistics.
+
+        Contexts arrive in sequence-major order from both execution modes,
+        so every downstream reduction sees the same operand order — the
+        property behind the batched == sequential bitwise guarantee.
+        """
         stats = WorkloadStats()
         preds, truths = [], []
-        tokens_total = self.segmenter.config.tokens
-
-        for seq_index in eval_indices:
-            seq = self.dataset[seq_index]
-            sensor.reset()
-            reuse.reset()
-            prev_seg_pred: np.ndarray | None = None
-            for t in range(len(seq)):
-                if reuse_window > 1 and not reuse.should_predict():
-                    # Reuse the cached box: bypass the predictor inside the
-                    # sensor by temporarily pinning its output.
-                    cached = reuse.current()
-                    original = sensor.roi_predictor
-                    sensor.roi_predictor = lambda e, s, _c=cached: _c
-                    out = sensor.capture(seq.frames[t], prev_seg_pred)
-                    sensor.roi_predictor = original
-                    reuse.tick()
-                else:
-                    out = sensor.capture(seq.frames[t], prev_seg_pred)
-                    if out is not None:
-                        reuse.update(out.roi_box_norm)
-                if out is None:  # bootstrap frame
-                    continue
-                sparse, mask = sensor.host_decode(out)
-                # Packed inference: unsampled patches decode to background,
-                # which keeps hallucinated foreground out of the seg map
-                # fed back to the ROI predictor (and drops empty tokens,
-                # so host compute scales with the sampled volume).
-                seg_pred = self.segmenter.predict_packed(sparse, mask)
-                prev_seg_pred = seg_pred
-                gaze_pred = self.gaze_estimator.predict(seg_pred)
-                preds.append(gaze_pred)
-                truths.append(seq.gazes[t])
-
-                n = sparse.size
-                patch = self.segmenter.config.patch
-                token_mask = (
-                    mask.reshape(
-                        mask.shape[0] // patch, patch, mask.shape[1] // patch, patch
-                    )
-                    .any(axis=(1, 3))
-                )
-                gt_box = seq.roi_boxes[t]
-                stats.record(
-                    roi_fraction=(
-                        (out.roi_box[2] - out.roi_box[0])
-                        * (out.roi_box[3] - out.roi_box[1])
-                        / n
-                    ),
-                    sampled_fraction=out.sampled_pixels / n,
-                    token_fraction=token_mask.sum() / tokens_total,
-                    tx_bytes=out.transmitted_bytes,
-                    rle_ratio=out.rle_stats.compression_ratio,
-                    roi_iou=(
-                        box_iou(out.roi_box, gt_box) if gt_box is not None else None
-                    ),
-                )
-
+        for ctx in run.evaluated:
+            preds.append(ctx.gaze_pred)
+            truths.append(ctx.gaze_true)
+            stats.record(**ctx.stats)
         predictions = np.array(preds)
         truth_arr = np.array(truths)
         horizontal, vertical = angular_errors(predictions, truth_arr)
@@ -288,4 +279,5 @@ class BlissCamPipeline:
             stats=stats,
             predictions=predictions,
             truths=truth_arr,
+            stage_timings=run.stage_timings,
         )

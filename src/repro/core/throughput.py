@@ -1,0 +1,104 @@
+"""Shared throughput measurement: sequential loop vs batched lockstep.
+
+One implementation of the warm-up / best-of-N timing / bitwise check /
+report-table logic, consumed by both ``repro.cli throughput`` and
+``benchmarks/bench_engine_throughput.py`` so the two surfaces cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.pipeline import BlissCamPipeline
+from repro.core.results import Table
+
+__all__ = ["measure_throughput", "throughput_tables"]
+
+
+def measure_throughput(
+    pipeline: BlissCamPipeline,
+    eval_indices: list[int],
+    repeats: int = 3,
+) -> dict:
+    """Time both engine modes over ``eval_indices`` on a trained pipeline.
+
+    Warms the dataset cache (every lane), the calibrated sensor template
+    and both execution paths' allocations first, so the timed section
+    measures the engine rather than one-time setup.  Each mode is timed
+    best-of-``repeats`` — the comparison is of the two code paths, not of
+    the allocator/scheduler noise a loaded machine adds on top.
+    """
+    for i in eval_indices:
+        pipeline.dataset[i]
+    warm = eval_indices[: min(2, len(eval_indices))]
+    pipeline.evaluate(warm)
+    pipeline.evaluate(warm, batched=True)
+
+    def best_of(batched: bool):
+        best, result = float("inf"), None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = pipeline.evaluate(eval_indices, batched=batched)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    seq_s, seq_result = best_of(False)
+    bat_s, bat_result = best_of(True)
+    frames = int(seq_result.horizontal.count)
+    return {
+        "sequences": len(eval_indices),
+        "frames": frames,
+        "sequential_s": seq_s,
+        "batched_s": bat_s,
+        "sequential_fps": frames / seq_s,
+        "batched_fps": frames / bat_s,
+        "speedup": seq_s / bat_s,
+        "bitwise_identical": bool(
+            np.array_equal(seq_result.predictions, bat_result.predictions)
+            and seq_result.stats.transmitted_bytes
+            == bat_result.stats.transmitted_bytes
+        ),
+        "stage_seconds_sequential": {
+            name: timing.seconds
+            for name, timing in seq_result.stage_timings.items()
+        },
+        "stage_seconds_batched": {
+            name: timing.seconds
+            for name, timing in bat_result.stage_timings.items()
+        },
+    }
+
+
+def throughput_tables(record: dict) -> list[Table]:
+    """The fps table and the per-stage attribution table for a record."""
+    fps = Table(
+        ["mode", "frames/sec", "wall (ms)"],
+        title=f"engine throughput ({record['frames']} frames, "
+        f"{record['sequences']} sequences in lockstep)",
+    )
+    fps.add_row(
+        "sequential loop",
+        round(record["sequential_fps"]),
+        round(record["sequential_s"] * 1e3),
+    )
+    fps.add_row(
+        "batched lockstep",
+        round(record["batched_fps"]),
+        round(record["batched_s"] * 1e3),
+    )
+    fps.add_row("speedup", f"{record['speedup']:.2f}x", "")
+
+    stages = Table(
+        ["stage", "sequential (ms)", "batched (ms)"],
+        title="per-stage wall-clock attribution",
+    )
+    for name, seconds in record["stage_seconds_sequential"].items():
+        stages.add_row(
+            name,
+            round(seconds * 1e3, 1),
+            round(record["stage_seconds_batched"][name] * 1e3, 1),
+        )
+    return [fps, stages]

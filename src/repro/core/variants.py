@@ -156,28 +156,36 @@ def evaluate_strategy(
 
     The gaze estimator is calibrated on the evaluation sequences' ground
     truth (per-user calibration); pass a pre-fit estimator to share it.
+
+    Runs on the shared :mod:`repro.engine` stage runtime: eventify ->
+    strategy sampling -> segment-or-reuse -> gaze regression, the same
+    runner the end-to-end tracker uses.  Execution is sequential because
+    the strategy draws from one shared RNG stream across frames.
     """
+    from repro.engine import build_strategy_graph, strategy_runner
+
     if gaze_estimator is None:
         gaze_estimator = FittedGazeEstimator()
         segs = np.concatenate([dataset[i].segmentations for i in eval_indices])
         gazes = np.concatenate([dataset[i].gazes for i in eval_indices])
         gaze_estimator.fit(segs, gazes)
 
+    graph = build_strategy_graph(
+        strategy=strategy,
+        segmenter=segmenter,
+        gaze_estimator=gaze_estimator,
+        rng=rng,
+    )
+    run = strategy_runner(graph).run(
+        [(i, dataset[i]) for i in eval_indices]
+    )
+
     preds, truths, compressions = [], [], []
-    prev_seg_pred: np.ndarray | None = None
-    for decision, _cur, _seg, gaze, _si, t in _frame_decisions(
-        strategy, dataset, eval_indices, rng
-    ):
-        if t == 1:
-            prev_seg_pred = None  # sequence boundary
-        if decision.reuse_previous and prev_seg_pred is not None:
-            seg_pred = prev_seg_pred
-        else:
-            seg_pred = segmenter.predict(decision.sparse_frame, decision.mask)
-            compressions.append(min(decision.compression, 1e6))
-        prev_seg_pred = seg_pred
-        preds.append(gaze_estimator.predict(seg_pred))
-        truths.append(gaze)
+    for ctx in run.evaluated:
+        preds.append(ctx.gaze_pred)
+        truths.append(ctx.gaze_true)
+        if not ctx.seg_reused:
+            compressions.append(min(ctx.stats["compression"], 1e6))
 
     horizontal, vertical = angular_errors(np.array(preds), np.array(truths))
     return StrategyEvaluation(

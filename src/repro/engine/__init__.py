@@ -1,0 +1,62 @@
+"""``repro.engine`` — the staged frame-dataflow execution runtime.
+
+The paper's system is a staged dataflow (eventification -> ROI prediction
+-> in-ROI sampling -> RLE/MIPI readout -> packed sparse-ViT segmentation
+-> gaze regression).  This package makes that structure executable: a
+:class:`Stage` protocol, a :class:`FrameContext` carrying one frame's
+intermediate products and timings, and a :class:`SequenceRunner` that
+executes stage graphs over batches of sequences — sequentially or in
+bitwise-identical vectorized lockstep.
+
+``BlissCamPipeline.evaluate``, ``core.variants.evaluate_strategy``, the
+ablation runners, the CLI, and the figure benchmarks are all thin
+configurations over this one runtime (see ``docs/architecture.md``).
+"""
+
+from repro.engine.context import FrameContext, SequenceState
+from repro.engine.graphs import (
+    build_strategy_graph,
+    build_tracking_graph,
+    strategy_runner,
+    tracking_runner,
+)
+from repro.engine.runner import EngineRun, SequenceRunner, StageTiming
+from repro.engine.stage import Stage, StageGraph
+from repro.engine.stages import (
+    EventifyPairStage,
+    EventifyStage,
+    GazeRegressStage,
+    ROIPredictStage,
+    ROIReuseStage,
+    ReadoutStage,
+    SampleStage,
+    SegmentOrReuseStage,
+    SegmentStage,
+    StatsCollectorStage,
+    StrategySampleStage,
+)
+
+__all__ = [
+    "FrameContext",
+    "SequenceState",
+    "Stage",
+    "StageGraph",
+    "SequenceRunner",
+    "EngineRun",
+    "StageTiming",
+    "EventifyStage",
+    "ROIPredictStage",
+    "ROIReuseStage",
+    "SampleStage",
+    "ReadoutStage",
+    "SegmentStage",
+    "GazeRegressStage",
+    "StatsCollectorStage",
+    "EventifyPairStage",
+    "StrategySampleStage",
+    "SegmentOrReuseStage",
+    "build_tracking_graph",
+    "build_strategy_graph",
+    "tracking_runner",
+    "strategy_runner",
+]

@@ -1,0 +1,126 @@
+"""Canonical stage-graph configurations.
+
+The tracking graph is the full in-sensor/host dataflow of Fig. 8 — what
+``BlissCamPipeline.evaluate`` runs.  The strategy graph is the Fig. 12/15
+harness — what ``core.variants.evaluate_strategy`` runs.  Both are plain
+:class:`~repro.engine.stage.StageGraph` instances over the same runner, so
+every figure benchmark and the CLI exercise one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.context import SequenceState
+from repro.engine.runner import SequenceRunner
+from repro.engine.stage import StageGraph
+from repro.engine.stages import (
+    EventifyPairStage,
+    EventifyStage,
+    GazeRegressStage,
+    ROIPredictStage,
+    ROIReuseStage,
+    ReadoutStage,
+    SampleStage,
+    SegmentOrReuseStage,
+    SegmentStage,
+    StatsCollectorStage,
+    StrategySampleStage,
+)
+
+__all__ = [
+    "build_tracking_graph",
+    "build_strategy_graph",
+    "tracking_runner",
+    "strategy_runner",
+]
+
+
+def build_tracking_graph(
+    *,
+    predictor: Callable[[np.ndarray, np.ndarray | None], np.ndarray],
+    segmenter,
+    gaze_estimator,
+    height: int,
+    width: int,
+    reuse_window: int = 1,
+) -> StageGraph:
+    """The full BlissCam dataflow as a stage graph.
+
+    ``predictor`` is the (margin-expanded) ROI predictor callable; the
+    reuse policy wraps it as a first-class stage — no sensor internals are
+    touched.
+    """
+    tokens_total = segmenter.config.tokens
+    return StageGraph(
+        [
+            EventifyStage(),
+            ROIReuseStage(
+                ROIPredictStage(predictor, height, width), window=reuse_window
+            ),
+            SampleStage(),
+            ReadoutStage(),
+            SegmentStage(segmenter),
+            GazeRegressStage(gaze_estimator, per_sequence_state=True),
+            StatsCollectorStage(tokens_total, segmenter.config.patch),
+        ]
+    )
+
+
+def tracking_runner(
+    *,
+    sensor_template,
+    sensor_seed: int,
+    graph: StageGraph,
+    batch_size: int | None = None,
+    retain_intermediates: bool = True,
+) -> SequenceRunner:
+    """A runner that spawns one sensor stream per evaluated sequence.
+
+    Each sequence gets a clone of the calibrated template chip whose
+    runtime noise streams are keyed by ``(sensor_seed, seq_index)`` —
+    order-insensitive, so sequential and lockstep execution draw
+    identical randomness.
+    """
+
+    def state_factory(seq_index: int) -> SequenceState:
+        state = SequenceState(seq_index=seq_index)
+        state.sensor = sensor_template.spawn([sensor_seed, seq_index])
+        return state
+
+    return SequenceRunner(
+        graph,
+        state_factory,
+        batch_size=batch_size,
+        retain_intermediates=retain_intermediates,
+    )
+
+
+def build_strategy_graph(
+    *,
+    strategy,
+    segmenter,
+    gaze_estimator,
+    rng: np.random.Generator,
+    use_gt_roi: bool = True,
+    sigma: float | None = None,
+) -> StageGraph:
+    """The Fig. 12/15 strategy-evaluation dataflow as a stage graph."""
+    return StageGraph(
+        [
+            EventifyPairStage(sigma=sigma),
+            StrategySampleStage(strategy, rng, use_gt_roi=use_gt_roi),
+            SegmentOrReuseStage(segmenter),
+            # Historical harness behaviour: the estimator's fallback state
+            # crosses sequence boundaries (and the shared strategy RNG
+            # already serializes execution), so no per-sequence state.
+            GazeRegressStage(gaze_estimator, per_sequence_state=False),
+        ]
+    )
+
+
+def strategy_runner(graph: StageGraph) -> SequenceRunner:
+    """Strategy graphs share one RNG across frames: sequential only."""
+    return SequenceRunner(graph)

@@ -1,0 +1,85 @@
+"""The stage protocol and the stage-graph container.
+
+A :class:`Stage` is one node of the per-frame dataflow (eventification,
+ROI prediction, sampling, readout, segmentation, gaze regression, stats).
+Stages are *shared* across sequences: all cross-frame state lives in the
+:class:`~repro.engine.context.SequenceState` handed to every call, so a
+single stage instance can serve many sequences in lockstep.
+
+``process`` handles one frame; ``process_batch`` handles the frames of
+several sequences at the same timestep and defaults to a per-frame loop —
+stages override it only when they have a genuinely vectorized
+implementation (which must stay *bitwise identical* to the scalar path;
+the engine test suite enforces this end-to-end).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.context import FrameContext, SequenceState
+
+__all__ = ["Stage", "StageGraph"]
+
+
+class Stage:
+    """One node of the per-frame dataflow."""
+
+    #: Stable identifier used for timing attribution and per-sequence slots.
+    name: str = "stage"
+
+    def start_sequence(self, seq: SequenceState) -> None:
+        """Reset/initialize per-sequence state before frame 0."""
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        """Process one frame.  Never called with ``ctx.skipped`` set."""
+        raise NotImplementedError
+
+    def process_batch(
+        self,
+        ctxs: Sequence[FrameContext],
+        seqs: Sequence[SequenceState],
+    ) -> None:
+        """Process one lockstep timestep across several sequences.
+
+        The default simply loops; override with a vectorized
+        implementation that produces bitwise-identical contexts.
+        """
+        for ctx, seq in zip(ctxs, seqs):
+            self.process(ctx, seq)
+
+
+class StageGraph:
+    """An ordered, validated pipeline of stages.
+
+    The graph is linear — the paper's dataflow is a chain with one feedback
+    edge (previous segmentation -> ROI predictor) which is carried through
+    ``SequenceState`` rather than a graph edge, keeping execution order
+    trivial.  Validation catches the common configuration mistakes early:
+    empty graphs, duplicate stage names (which would collide in timing
+    attribution and sequence slots), and non-stage objects.
+    """
+
+    def __init__(self, stages: Sequence[Stage]):
+        stages = list(stages)
+        if not stages:
+            raise ValueError("a stage graph needs at least one stage")
+        names = []
+        for stage in stages:
+            if not isinstance(stage, Stage):
+                raise TypeError(f"not a Stage: {stage!r}")
+            names.append(stage.name)
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate stage names: {sorted(dupes)}")
+        self.stages = stages
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.stages]

@@ -1,0 +1,360 @@
+"""Concrete stages: the BlissCam frame dataflow, one paper stage per class.
+
+Tracking graph (Sec. III/IV, extracted from the old monolithic
+``BlissCamPipeline.evaluate`` loop):
+
+``EventifyStage``       analog eventification against the AZ-held frame
+``ROIPredictStage``     in-sensor ROI DNN (margin-expanded box)
+``ROIReuseStage``       Table-I reuse policy as a first-class wrapper —
+                        replaces the old predictor monkeypatch
+``SampleStage``         SRAM power-up RNG sampling inside the ROI
+``ReadoutStage``        If-Skip ADC + column-major sparse readout + RLE,
+                        then the host-side decode
+``SegmentStage``        packed sparse-ViT segmentation (batched mode
+                        groups frames by token count — bitwise identical)
+``GazeRegressStage``    calibrated centroid -> gaze regression
+``StatsCollectorStage`` per-frame workload statistics (Figs. 13/14 inputs)
+
+Strategy graph (Fig. 12/15 harness, extracted from
+``core/variants.evaluate_strategy``):
+
+``EventifyPairStage``   digital frame-pair eventification
+``StrategySampleStage`` one of the seven Fig. 15 sampling strategies
+``SegmentOrReuseStage`` segmentation with SKIP-style reuse of the
+                        previous map
+
+Scalar ``process`` paths are faithful transcriptions of the original
+loops; vectorized ``process_batch`` overrides must stay bitwise identical
+(enforced by the engine equivalence tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.context import FrameContext, SequenceState
+from repro.engine.stage import Stage
+from repro.sampling.eventification import eventify
+from repro.sampling.roi import ROIReusePolicy, box_iou, box_to_pixels, order_box
+
+__all__ = [
+    "EventifyStage",
+    "ROIPredictStage",
+    "ROIReuseStage",
+    "SampleStage",
+    "ReadoutStage",
+    "SegmentStage",
+    "GazeRegressStage",
+    "StatsCollectorStage",
+    "EventifyPairStage",
+    "StrategySampleStage",
+    "SegmentOrReuseStage",
+]
+
+
+# -- tracking stages ---------------------------------------------------------
+
+
+class EventifyStage(Stage):
+    """Analog eventification via the per-sequence sensor's held frame."""
+
+    name = "eventify"
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        event_map = seq.sensor.eventify_step(ctx.frame)
+        if event_map is None:
+            ctx.skipped = True  # bootstrap frame: nothing to difference yet
+        else:
+            ctx.event_map = event_map
+
+    def process_batch(self, ctxs, seqs) -> None:
+        # Per-sensor noise streams must be drawn from each sequence's own
+        # generator (that's what makes lockstep == sequential bitwise);
+        # the pure comparator decision vectorizes across the rank.
+        live: list[tuple[FrameContext, np.ndarray, np.ndarray, float]] = []
+        for ctx, seq in zip(ctxs, seqs):
+            inputs = seq.sensor.eventify_inputs(ctx.frame)
+            if inputs is None:
+                ctx.skipped = True
+                continue
+            live.append((ctx, *inputs, seq.sensor.sigma))
+        if not live:
+            return
+        diffs = np.stack([d for _, d, _, _ in live])
+        noises = np.stack([n for _, _, n, _ in live])
+        sigmas = np.array([s for _, _, _, s in live])[:, None, None]
+        events = type(seqs[0].sensor).comparator_decide(diffs, noises, sigmas)
+        for i, (ctx, _, _, _) in enumerate(live):
+            ctx.event_map = events[i]
+
+
+class ROIPredictStage(Stage):
+    """The in-sensor ROI DNN mapping (events, previous seg) -> pixel box."""
+
+    name = "roi_predict"
+
+    def __init__(
+        self,
+        predictor: Callable[[np.ndarray, np.ndarray | None], np.ndarray],
+        height: int,
+        width: int,
+    ):
+        self.predictor = predictor
+        self.height = height
+        self.width = width
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        box_norm = order_box(
+            np.asarray(self.predictor(ctx.event_map, seq.prev_seg_pred))
+        )
+        ctx.roi_box_norm = box_norm
+        ctx.roi_box = box_to_pixels(box_norm, self.height, self.width)
+
+    # The conv forward is *not* batch-invariant at the bitwise level
+    # (BLAS kernel selection depends on the stacked batch size), so the
+    # batched mode keeps the per-frame loop — the default process_batch.
+
+
+class ROIReuseStage(Stage):
+    """Table-I ROI reuse as a wrapper around any ROI-producing stage.
+
+    Replaces the old hack of temporarily monkeypatching
+    ``sensor.roi_predictor`` with a lambda pinning the cached box (which
+    also leaked the pinned predictor if ``capture`` raised).  With
+    ``window == 1`` the policy predicts every frame — the paper's default.
+    """
+
+    name = "roi"
+
+    def __init__(self, inner: Stage, window: int = 1):
+        if window < 1:
+            raise ValueError(f"reuse window must be >= 1: {window}")
+        self.inner = inner
+        self.window = window
+
+    def start_sequence(self, seq: SequenceState) -> None:
+        self.inner.start_sequence(seq)
+        seq.slots[self.name] = ROIReusePolicy(window=self.window)
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        policy: ROIReusePolicy = seq.slots[self.name]
+        if self.window > 1 and not policy.should_predict():
+            box_norm = order_box(np.asarray(policy.current()))
+            ctx.roi_box_norm = box_norm
+            ctx.roi_box = box_to_pixels(box_norm, *ctx.frame.shape)
+            ctx.roi_reused = True
+            policy.tick()
+        else:
+            self.inner.process(ctx, seq)
+            policy.update(ctx.roi_box_norm)
+
+
+class SampleStage(Stage):
+    """SRAM power-up RNG sampling decisions restricted to the ROI."""
+
+    name = "sample"
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        ctx.sample_mask = seq.sensor.sampling_step(ctx.roi_box)
+
+    def process_batch(self, ctxs, seqs) -> None:
+        # Power-up bits must come from each sequence's own stream, but the
+        # popcount reduction and threshold compare stack across the rank
+        # (integer/boolean ops: exact under any batching).
+        bits = np.stack([seq.sensor.sram_rng.power_up_bits() for seq in seqs])
+        pops = bits.sum(axis=-1)  # (B, num_pixels)
+        for i, (ctx, seq) in enumerate(zip(ctxs, seqs)):
+            ctx.sample_mask = seq.sensor.mask_from_popcounts(
+                pops[i], ctx.roi_box
+            )
+
+
+class ReadoutStage(Stage):
+    """ADC + sparse readout + RLE, then the host-side reconstruction."""
+
+    name = "readout"
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        sensor = seq.sensor
+        codes, readout, tokens, stats = sensor.readout_step(
+            ctx.frame, ctx.sample_mask, ctx.roi_box
+        )
+        ctx.readout = readout
+        ctx.rle_stats = stats
+        # Host side: the faithful transmission round-trip, via the
+        # sensor's one decode implementation.
+        ctx.sparse_frame, ctx.mask = sensor.host_decode_tokens(
+            tokens, ctx.roi_box
+        )
+
+    def process_batch(self, ctxs, seqs) -> None:
+        # The RLE round-trip is lossless by construction (tested), so the
+        # batched host skips the per-token python scan: the sensor's
+        # direct readout provides vectorized run-length accounting and
+        # the sparse frame is rebuilt from the codes it already holds —
+        # bitwise identical to decoding the token stream.
+        for ctx, seq in zip(ctxs, seqs):
+            sensor = seq.sensor
+            codes, readout, stats = sensor.readout_step_direct(
+                ctx.frame, ctx.sample_mask, ctx.roi_box
+            )
+            ctx.readout = readout
+            ctx.rle_stats = stats
+            sparse = codes.astype(np.float64) / (sensor.adc.levels - 1)
+            ctx.sparse_frame = sparse * ctx.sample_mask
+            ctx.mask = ctx.sample_mask.copy()
+
+
+class SegmentStage(Stage):
+    """Packed sparse-ViT segmentation; feeds the ROI predictor back."""
+
+    name = "segment"
+
+    def __init__(self, segmenter):
+        self.segmenter = segmenter
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        seg = self.segmenter.predict_packed(ctx.sparse_frame, ctx.mask)
+        ctx.seg_pred = seg
+        seq.prev_seg_pred = seg
+
+    def process_batch(self, ctxs, seqs) -> None:
+        frames = np.stack([c.sparse_frame for c in ctxs])
+        masks = np.stack([c.mask for c in ctxs])
+        segs = self.segmenter.predict_packed_batch(frames, masks)
+        for i, (ctx, seq) in enumerate(zip(ctxs, seqs)):
+            ctx.seg_pred = segs[i]
+            seq.prev_seg_pred = segs[i]
+
+
+class GazeRegressStage(Stage):
+    """Calibrated gaze regression on the predicted segmentation map.
+
+    The fitted estimator keeps a last-prediction fallback for frames where
+    the pupil is occluded; with ``per_sequence_state`` the fallback is
+    tracked per sequence (required for lockstep == sequential equality),
+    otherwise the estimator's own cross-sequence state is used (the
+    historical behaviour of the strategy harness).
+    """
+
+    name = "gaze"
+
+    def __init__(self, estimator, per_sequence_state: bool = True):
+        self.estimator = estimator
+        self.per_sequence_state = per_sequence_state
+
+    def start_sequence(self, seq: SequenceState) -> None:
+        if self.per_sequence_state:
+            seq.slots[self.name] = self.estimator.INITIAL_FALLBACK
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        est = self.estimator
+        if self.per_sequence_state:
+            est.fallback_state = seq.slots[self.name]
+            ctx.gaze_pred = est.predict(ctx.seg_pred)
+            seq.slots[self.name] = est.fallback_state
+        else:
+            ctx.gaze_pred = est.predict(ctx.seg_pred)
+
+
+class StatsCollectorStage(Stage):
+    """Per-frame workload statistics parameterizing the hardware models."""
+
+    name = "stats"
+
+    def __init__(self, tokens_total: int, patch: int):
+        self.tokens_total = tokens_total
+        self.patch = patch
+
+    def _record(self, ctx: FrameContext, token_count: int) -> None:
+        n = ctx.sparse_frame.size
+        r0, c0, r1, c1 = ctx.roi_box
+        ctx.stats = {
+            "roi_fraction": (r1 - r0) * (c1 - c0) / n,
+            "sampled_fraction": ctx.readout.converted_pixels / n,
+            "token_fraction": token_count / self.tokens_total,
+            "tx_bytes": ctx.rle_stats.encoded_bytes,
+            "rle_ratio": ctx.rle_stats.compression_ratio,
+            "roi_iou": (
+                box_iou(ctx.roi_box, ctx.gt_box)
+                if ctx.gt_box is not None
+                else None
+            ),
+        }
+
+    def _token_counts(self, masks: np.ndarray) -> np.ndarray:
+        p = self.patch
+        b, h, w = masks.shape
+        token_mask = masks.reshape(b, h // p, p, w // p, p).any(axis=(2, 4))
+        return token_mask.sum(axis=(1, 2))
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        counts = self._token_counts(ctx.mask[None])
+        self._record(ctx, int(counts[0]))
+
+    def process_batch(self, ctxs, seqs) -> None:
+        counts = self._token_counts(np.stack([c.mask for c in ctxs]))
+        for ctx, count in zip(ctxs, counts):
+            self._record(ctx, int(count))
+
+
+# -- strategy-harness stages -------------------------------------------------
+
+
+class EventifyPairStage(Stage):
+    """Digital eventification of consecutive dataset frames."""
+
+    name = "eventify"
+
+    def __init__(self, sigma: float | None = None):
+        self.sigma = sigma
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        if ctx.prev_frame is None:
+            ctx.skipped = True  # no pair at t = 0
+            return
+        if self.sigma is None:
+            ctx.event_map = eventify(ctx.prev_frame, ctx.frame)
+        else:
+            ctx.event_map = eventify(ctx.prev_frame, ctx.frame, sigma=self.sigma)
+
+
+class StrategySampleStage(Stage):
+    """Apply one Fig. 15 sampling strategy to the eventified frame."""
+
+    name = "strategy_sample"
+
+    def __init__(self, strategy, rng: np.random.Generator, use_gt_roi: bool = True):
+        self.strategy = strategy
+        self.rng = rng
+        self.use_gt_roi = use_gt_roi
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        roi_box = ctx.gt_box if self.use_gt_roi else None
+        decision = self.strategy.sample(
+            ctx.frame, ctx.event_map, roi_box, self.rng
+        )
+        ctx.mask = decision.mask
+        ctx.sparse_frame = decision.sparse_frame
+        ctx.roi_box = decision.roi_box
+        ctx.reuse_previous = decision.reuse_previous
+        ctx.stats["compression"] = decision.compression
+
+
+class SegmentOrReuseStage(Stage):
+    """Segmentation with SKIP-style reuse of the previous predicted map."""
+
+    name = "segment"
+
+    def __init__(self, segmenter):
+        self.segmenter = segmenter
+
+    def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        if ctx.reuse_previous and seq.prev_seg_pred is not None:
+            ctx.seg_pred = seq.prev_seg_pred
+            ctx.seg_reused = True
+        else:
+            ctx.seg_pred = self.segmenter.predict(ctx.sparse_frame, ctx.mask)
+        seq.prev_seg_pred = ctx.seg_pred

@@ -48,9 +48,21 @@ def pupil_centroid(
 class GeometricGazeEstimator:
     """Invert the known eye geometry: centroid -> gaze, exactly."""
 
+    #: Fallback gaze before any frame with a visible pupil has been seen.
+    INITIAL_FALLBACK: tuple[float, float] = (0.0, 0.0)
+
     def __init__(self, geometry: EyeGeometry):
         self.geometry = geometry
-        self._last: tuple[float, float] = (0.0, 0.0)
+        self._last: tuple[float, float] = self.INITIAL_FALLBACK
+
+    @property
+    def fallback_state(self) -> tuple[float, float]:
+        """The gaze emitted when the pupil is fully occluded."""
+        return self._last
+
+    @fallback_state.setter
+    def fallback_state(self, value: tuple[float, float]) -> None:
+        self._last = value
 
     def predict(self, segmentation: np.ndarray) -> tuple[float, float]:
         """Gaze ``(horizontal, vertical)`` in degrees."""
@@ -70,13 +82,25 @@ class FittedGazeEstimator:
     mirroring commercial calibration procedures.
     """
 
+    #: Fallback gaze before any frame with a visible pupil has been seen.
+    INITIAL_FALLBACK: tuple[float, float] = (0.0, 0.0)
+
     def __init__(self):
         self._coef: np.ndarray | None = None  # (3, 2)
-        self._last: tuple[float, float] = (0.0, 0.0)
+        self._last: tuple[float, float] = self.INITIAL_FALLBACK
 
     @property
     def is_fitted(self) -> bool:
         return self._coef is not None
+
+    @property
+    def fallback_state(self) -> tuple[float, float]:
+        """The gaze emitted when the pupil is fully occluded."""
+        return self._last
+
+    @fallback_state.setter
+    def fallback_state(self, value: tuple[float, float]) -> None:
+        self._last = value
 
     def fit(self, segmentations: np.ndarray, gazes: np.ndarray) -> None:
         """Calibrate from (N, H, W) ground-truth maps and (N, 2) gazes."""

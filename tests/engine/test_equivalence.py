@@ -1,0 +1,253 @@
+"""Equivalence guarantees of the staged engine.
+
+Three independent properties are pinned down, each exactly:
+
+1. **batched == sequential** — the vectorized lockstep mode must produce
+   bitwise-identical ``EvaluationResult`` contents to the sequential
+   reference mode (the PR acceptance bar).
+2. **staged == pre-refactor loop** — the stage decomposition must
+   reproduce the original monolithic ``evaluate`` loop (including the
+   deleted ``sensor.roi_predictor`` monkeypatch mechanism for ROI reuse)
+   frame for frame; the reference transcriptions live in this file.
+3. **vectorized kernels == scalar kernels** — the batched-only fast paths
+   (grouped packed ViT, run-length accounting) match their scalar
+   counterparts on randomized inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BlissCamPipeline, ci, evaluate_strategy, make_strategy
+from repro.gaze.metrics import angular_errors
+from repro.sampling.roi import ROIReusePolicy, box_iou
+from repro.segmentation import ViTConfig, ViTSegmenter
+from repro.synth import DatasetConfig, SyntheticEyeDataset
+
+
+@pytest.fixture(scope="module")
+def trained_pipeline():
+    pipe = BlissCamPipeline(ci(num_sequences=5, frames_per_sequence=8))
+    pipe.train([0, 1])
+    return pipe
+
+
+def reference_evaluate(pipeline, eval_indices, reuse_window=1, sensor_seed=1234):
+    """Faithful transcription of the pre-refactor monolithic evaluate loop.
+
+    This is the seed repository's ``BlissCamPipeline.evaluate`` body —
+    per-frame ``sensor.capture`` with the ROI-reuse policy implemented by
+    temporarily monkeypatching ``sensor.roi_predictor`` — ported only to
+    the engine's per-sequence stream semantics (one sensor spawn and a
+    fresh gaze-fallback state per sequence).  The staged engine must
+    reproduce it exactly.
+    """
+    template = pipeline.build_sensor(seed=sensor_seed)
+    reuse = ROIReusePolicy(window=reuse_window)
+    preds, truths = [], []
+    records = []
+    tokens_total = pipeline.segmenter.config.tokens
+    for seq_index in eval_indices:
+        seq = pipeline.dataset[seq_index]
+        sensor = template.spawn([sensor_seed, seq_index])
+        reuse.reset()
+        pipeline.gaze_estimator.fallback_state = (0.0, 0.0)
+        prev_seg_pred = None
+        for t in range(len(seq)):
+            if reuse_window > 1 and not reuse.should_predict():
+                cached = reuse.current()
+                original = sensor.roi_predictor
+                sensor.roi_predictor = lambda e, s, _c=cached: _c
+                out = sensor.capture(seq.frames[t], prev_seg_pred)
+                sensor.roi_predictor = original
+                reuse.tick()
+            else:
+                out = sensor.capture(seq.frames[t], prev_seg_pred)
+                if out is not None:
+                    reuse.update(out.roi_box_norm)
+            if out is None:
+                continue
+            sparse, mask = sensor.host_decode(out)
+            seg_pred = pipeline.segmenter.predict_packed(sparse, mask)
+            prev_seg_pred = seg_pred
+            preds.append(pipeline.gaze_estimator.predict(seg_pred))
+            truths.append(seq.gazes[t])
+            n = sparse.size
+            patch = pipeline.segmenter.config.patch
+            token_mask = mask.reshape(
+                mask.shape[0] // patch, patch, mask.shape[1] // patch, patch
+            ).any(axis=(1, 3))
+            gt_box = seq.roi_boxes[t]
+            records.append(
+                {
+                    "roi_fraction": (
+                        (out.roi_box[2] - out.roi_box[0])
+                        * (out.roi_box[3] - out.roi_box[1])
+                        / n
+                    ),
+                    "sampled_fraction": out.sampled_pixels / n,
+                    "token_fraction": token_mask.sum() / tokens_total,
+                    "tx_bytes": out.transmitted_bytes,
+                    "rle_ratio": out.rle_stats.compression_ratio,
+                    "roi_iou": (
+                        box_iou(out.roi_box, gt_box)
+                        if gt_box is not None
+                        else None
+                    ),
+                }
+            )
+    return np.array(preds), np.array(truths), records
+
+
+class TestBatchedEqualsSequential:
+    def test_full_result_bitwise_identical(self, trained_pipeline):
+        seq_res = trained_pipeline.evaluate([2, 3, 4])
+        bat_res = trained_pipeline.evaluate([2, 3, 4], batched=True)
+        assert np.array_equal(seq_res.predictions, bat_res.predictions)
+        assert np.array_equal(seq_res.truths, bat_res.truths)
+        assert seq_res.horizontal == bat_res.horizontal
+        assert seq_res.vertical == bat_res.vertical
+        s, b = seq_res.stats, bat_res.stats
+        assert s.roi_fractions == b.roi_fractions
+        assert s.sampled_fractions == b.sampled_fractions
+        assert s.valid_token_fractions == b.valid_token_fractions
+        assert s.transmitted_bytes == b.transmitted_bytes
+        assert s.rle_ratios == b.rle_ratios
+        assert s.roi_ious == b.roi_ious
+
+    def test_reuse_window_bitwise_identical(self, trained_pipeline):
+        seq_res = trained_pipeline.evaluate([2, 3, 4], reuse_window=4)
+        bat_res = trained_pipeline.evaluate(
+            [2, 3, 4], reuse_window=4, batched=True
+        )
+        assert np.array_equal(seq_res.predictions, bat_res.predictions)
+        assert seq_res.stats.transmitted_bytes == bat_res.stats.transmitted_bytes
+
+
+class TestStagedEqualsPreRefactor:
+    @pytest.mark.parametrize("reuse_window", [1, 4])
+    def test_tracking_parity(self, trained_pipeline, reuse_window):
+        """The engine reproduces the monolithic loop exactly — including
+        ROI reuse, whose monkeypatch mechanism the reuse stage replaced."""
+        ref_preds, ref_truths, ref_records = reference_evaluate(
+            trained_pipeline, [2, 3, 4], reuse_window=reuse_window
+        )
+        result = trained_pipeline.evaluate([2, 3, 4], reuse_window=reuse_window)
+        assert np.array_equal(result.predictions, ref_preds)
+        assert np.array_equal(result.truths, ref_truths)
+        ref_h, ref_v = angular_errors(ref_preds, ref_truths)
+        assert result.horizontal == ref_h
+        assert result.vertical == ref_v
+        stats = result.stats
+        assert stats.roi_fractions == [r["roi_fraction"] for r in ref_records]
+        assert stats.sampled_fractions == [
+            r["sampled_fraction"] for r in ref_records
+        ]
+        assert stats.transmitted_bytes == [r["tx_bytes"] for r in ref_records]
+        assert stats.rle_ratios == [r["rle_ratio"] for r in ref_records]
+        assert stats.roi_ious == [
+            r["roi_iou"] for r in ref_records if r["roi_iou"] is not None
+        ]
+
+    def test_strategy_parity(self):
+        """``evaluate_strategy`` on the engine == the pre-refactor harness
+        loop, for both a stochastic and a stateful (SKIP) strategy."""
+        from repro.core.variants import _frame_decisions
+        from repro.gaze.estimation import FittedGazeEstimator
+
+        dataset = SyntheticEyeDataset(
+            DatasetConfig(
+                height=32, width=32, frames_per_sequence=6, num_sequences=3,
+                eye_scale=0.8,
+            )
+        )
+        vit = ViTSegmenter(
+            ViTConfig(height=32, width=32, patch=8, dim=24, heads=3,
+                      depth=1, decoder_depth=1),
+            np.random.default_rng(0),
+        )
+        eval_idx = [1, 2]
+        segs = np.concatenate([dataset[i].segmentations for i in eval_idx])
+        gazes = np.concatenate([dataset[i].gazes for i in eval_idx])
+
+        for name in ("Ours (ROI+Random)", "Skip"):
+            # Pre-refactor loop (transcribed from the seed repository).
+            est_ref = FittedGazeEstimator()
+            est_ref.fit(segs, gazes)
+            strategy_ref = make_strategy(name, 4.0, dataset=dataset)
+            rng_ref = np.random.default_rng(7)
+            preds_ref, truths_ref, comps_ref = [], [], []
+            prev_seg = None
+            for decision, _cur, _seg, gaze, _si, t in _frame_decisions(
+                strategy_ref, dataset, eval_idx, rng_ref
+            ):
+                if t == 1:
+                    prev_seg = None
+                if decision.reuse_previous and prev_seg is not None:
+                    seg_pred = prev_seg
+                else:
+                    seg_pred = vit.predict(decision.sparse_frame, decision.mask)
+                    comps_ref.append(min(decision.compression, 1e6))
+                prev_seg = seg_pred
+                preds_ref.append(est_ref.predict(seg_pred))
+                truths_ref.append(gaze)
+
+            # Engine-backed harness with identically seeded inputs.
+            est_new = FittedGazeEstimator()
+            est_new.fit(segs, gazes)
+            result = evaluate_strategy(
+                make_strategy(name, 4.0, dataset=dataset),
+                vit,
+                dataset,
+                eval_idx,
+                np.random.default_rng(7),
+                gaze_estimator=est_new,
+            )
+            assert result.frames == len(preds_ref)
+            expected_compression = (
+                float(np.mean(comps_ref)) if comps_ref else 1.0
+            )
+            assert result.mean_compression == expected_compression
+            ref_h, ref_v = angular_errors(
+                np.array(preds_ref), np.array(truths_ref)
+            )
+            assert result.horizontal == ref_h
+            assert result.vertical == ref_v
+
+
+class TestVectorizedKernels:
+    def test_rle_stream_stats_matches_encode(self):
+        from repro.hardware.sensor.rle import RunLengthCodec
+
+        codec = RunLengthCodec()
+        rng = np.random.default_rng(5)
+        streams = [
+            np.zeros(0, dtype=np.int64),
+            np.zeros(10_000, dtype=np.int64),  # run splitting (> 4095)
+            np.ones(17, dtype=np.int64),
+            rng.integers(0, 1024, size=500) * (rng.random(500) < 0.2),
+        ]
+        for _ in range(50):
+            n = int(rng.integers(1, 2000))
+            streams.append(
+                rng.integers(0, 1024, size=n) * (rng.random(n) < rng.random())
+            )
+        for stream in streams:
+            _, slow = codec.encode(stream)
+            assert codec.stream_stats(stream) == slow
+
+    def test_packed_batch_matches_per_frame(self):
+        rng = np.random.default_rng(11)
+        vit = ViTSegmenter(
+            ViTConfig(height=32, width=32, patch=8, dim=24, heads=3,
+                      depth=1, decoder_depth=1),
+            rng,
+        )
+        frames = rng.random((6, 32, 32))
+        masks = rng.random((6, 32, 32)) < 0.15
+        masks[3] = False  # empty-mask lane
+        masks[4] = masks[1]  # force a token-count collision group
+        batched = vit.predict_packed_batch(frames, masks)
+        for i in range(6):
+            assert np.array_equal(
+                batched[i], vit.predict_packed(frames[i], masks[i])
+            ), f"frame {i} diverged"
