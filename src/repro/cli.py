@@ -3,7 +3,8 @@
 Commands
 --------
 ``quickstart``   train + evaluate the end-to-end pipeline (CI scale)
-``throughput``   staged-engine frames/sec: sequential loop vs batched lockstep
+``throughput``   staged-engine frames/sec: sequential vs batched lockstep
+                 (``--workers N`` also times the sharded multi-process mode)
 ``energy``       per-frame energy breakdown of the four variants
 ``latency``      tracking-latency breakdown of the four variants
 ``area``         Sec. VI-D area estimate
@@ -54,10 +55,13 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     pipeline = BlissCamPipeline(ci(num_sequences=10, frames_per_sequence=10))
     print("training...")
     pipeline.train([0, 1])
-    record = measure_throughput(pipeline, list(range(2, 10)), repeats=1)
+    record = measure_throughput(
+        pipeline, list(range(2, 10)), repeats=1, workers=args.workers
+    )
     for table in throughput_tables(record):
         print(table.render())
-    print(f"batched == sequential (bitwise): {record['bitwise_identical']}")
+    modes = "batched/sharded" if "sharded_s" in record else "batched"
+    print(f"{modes} == sequential (bitwise): {record['bitwise_identical']}")
     return 0 if record["bitwise_identical"] else 1
 
 
@@ -175,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
     for name in _COMMANDS:
         cmd = sub.add_parser(name)
         cmd.add_argument("--fps", type=float, default=120.0)
+        if name == "throughput":
+            cmd.add_argument(
+                "--workers",
+                type=int,
+                default=0,
+                help="also time the sharded mode over N worker processes "
+                "(0 disables; >= 2 shards the sequence rank)",
+            )
     return parser
 
 

@@ -1,7 +1,12 @@
 """End-to-end BlissCam system: configuration, pipeline, variants, results."""
 
 from repro.core.config import SystemConfig, ci, paper
-from repro.core.pipeline import BlissCamPipeline, EvaluationResult, WorkloadStats
+from repro.core.pipeline import (
+    BlissCamPipeline,
+    EvaluationResult,
+    MarginExpandedPredictor,
+    WorkloadStats,
+)
 from repro.core.results import PaperComparison, Table
 from repro.core.variants import (
     StrategyEvaluation,
@@ -17,6 +22,7 @@ __all__ = [
     "paper",
     "BlissCamPipeline",
     "EvaluationResult",
+    "MarginExpandedPredictor",
     "WorkloadStats",
     "Table",
     "PaperComparison",

@@ -26,13 +26,58 @@ from repro.gaze.estimation import FittedGazeEstimator
 from repro.gaze.metrics import AngularErrorStats, angular_errors
 from repro.hardware.energy import WorkloadProfile
 from repro.hardware.sensor.sensor import BlissCamSensor
-from repro.sampling.roi import ROIPredictor
+from repro.sampling.roi import (
+    ROIPredictor,
+    box_from_pixels,
+    box_to_pixels,
+    expand_box,
+)
 from repro.segmentation.vit import ViTSegmenter
 from repro.synth.dataset import SyntheticEyeDataset
 from repro.training.joint import JointTrainConfig, JointTrainer, JointTrainResult
 from repro.core.config import SystemConfig
 
-__all__ = ["BlissCamPipeline", "EvaluationResult", "WorkloadStats"]
+__all__ = [
+    "BlissCamPipeline",
+    "EvaluationResult",
+    "WorkloadStats",
+    "MarginExpandedPredictor",
+]
+
+
+@dataclass
+class MarginExpandedPredictor:
+    """The trained ROI predictor with the safety-margin box expansion.
+
+    A plain class (not a closure) for two engine requirements: sharded
+    execution pickles the predictor to worker processes, and the batched
+    ROI-predict stage needs the :meth:`predict_batch` fast path (bitwise
+    row-independent, see :meth:`ROIPredictor.predict_box_batch`; the
+    margin expansion itself is exact integer arithmetic per box).
+    """
+
+    roi_predictor: ROIPredictor
+    height: int
+    width: int
+    margin: int
+
+    def _expand(self, box: np.ndarray) -> np.ndarray:
+        pixel_box = box_to_pixels(box, self.height, self.width)
+        pixel_box = expand_box(pixel_box, self.margin, self.height, self.width)
+        return box_from_pixels(pixel_box, self.height, self.width)
+
+    def __call__(
+        self, event_map: np.ndarray, prev_seg: np.ndarray | None
+    ) -> np.ndarray:
+        return self._expand(self.roi_predictor.predict_box(event_map, prev_seg))
+
+    def predict_batch(
+        self,
+        event_maps: list[np.ndarray],
+        prev_segs: list[np.ndarray | None],
+    ) -> list[np.ndarray]:
+        boxes = self.roi_predictor.predict_box_batch(event_maps, prev_segs)
+        return [self._expand(box) for box in boxes]
 
 
 @dataclass
@@ -188,20 +233,12 @@ class BlissCamPipeline:
             / (self.config.compression * max(self._typical_roi_fraction(), 1e-6)),
         )
         height, width = self.config.height, self.config.width
-        margin = self.config.roi_margin_px
-
-        from repro.sampling.roi import box_from_pixels, box_to_pixels, expand_box
-
-        def predictor_with_margin(event_map, prev_seg):
-            box = self.roi_predictor.predict_box(event_map, prev_seg)
-            pixel_box = box_to_pixels(box, height, width)
-            pixel_box = expand_box(pixel_box, margin, height, width)
-            return box_from_pixels(pixel_box, height, width)
-
         return BlissCamSensor(
             height,
             width,
-            roi_predictor=predictor_with_margin,
+            roi_predictor=MarginExpandedPredictor(
+                self.roi_predictor, height, width, self.config.roi_margin_px
+            ),
             sampling_rate=in_roi_rate,
             seed=seed,
         )
@@ -221,13 +258,16 @@ class BlissCamPipeline:
         sensor_seed: int = 1234,
         batched: bool = False,
         batch_size: int | None = None,
+        workers: int | None = None,
     ) -> EvaluationResult:
         """Run the functional sensor + host over held-out sequences.
 
         ``reuse_window`` > 1 enables the Table-I ROI-reuse policy (a
         first-class engine stage).  ``batched`` runs the sequences in
-        vectorized lockstep — bitwise-identical results, higher
-        throughput; ``batch_size`` bounds the lockstep width.
+        vectorized lockstep; ``batch_size`` bounds the lockstep width.
+        ``workers >= 2`` shards the sequence rank over that many worker
+        processes (composable with ``batched``).  All modes produce
+        bitwise-identical results; see ``docs/architecture.md``.
         """
         if not self.gaze_estimator.is_fitted:
             raise RuntimeError("pipeline must be trained before evaluation")
@@ -252,7 +292,9 @@ class BlissCamPipeline:
             retain_intermediates=False,
         )
         run = runner.run(
-            [(i, self.dataset[i]) for i in eval_indices], batched=batched
+            [(i, self.dataset[i]) for i in eval_indices],
+            batched=batched,
+            workers=workers,
         )
         return self._collect_evaluation(run)
 

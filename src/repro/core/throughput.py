@@ -1,4 +1,4 @@
-"""Shared throughput measurement: sequential loop vs batched lockstep.
+"""Shared throughput measurement: sequential loop vs batched vs sharded.
 
 One implementation of the warm-up / best-of-N timing / bitwise check /
 report-table logic, consumed by both ``repro.cli throughput`` and
@@ -12,55 +12,83 @@ import time
 
 import numpy as np
 
-from repro.core.pipeline import BlissCamPipeline
+from repro.core.pipeline import BlissCamPipeline, EvaluationResult
 from repro.core.results import Table
 
 __all__ = ["measure_throughput", "throughput_tables"]
+
+
+def _rate(frames: int, seconds: float) -> float:
+    """Frames/sec that tolerates a timed section rounding to 0 s."""
+    return frames / seconds if seconds > 0 else float("inf")
+
+
+def _best_of(evaluate, repeats: int) -> tuple[float, EvaluationResult]:
+    """Best wall time over ``repeats`` runs, paired with *that run's*
+    result (not the last repeat's — the historical pairing bug)."""
+    best_s, best_result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = evaluate()
+        dt = time.perf_counter() - t0
+        if dt < best_s:
+            best_s, best_result = dt, result
+    return best_s, best_result
+
+
+def _same_results(a: EvaluationResult, b: EvaluationResult) -> bool:
+    return bool(
+        np.array_equal(a.predictions, b.predictions)
+        and a.stats.transmitted_bytes == b.stats.transmitted_bytes
+    )
 
 
 def measure_throughput(
     pipeline: BlissCamPipeline,
     eval_indices: list[int],
     repeats: int = 3,
+    workers: int | None = None,
 ) -> dict:
-    """Time both engine modes over ``eval_indices`` on a trained pipeline.
+    """Time the engine modes over ``eval_indices`` on a trained pipeline.
 
     Warms the dataset cache (every lane), the calibrated sensor template
     and both execution paths' allocations first, so the timed section
     measures the engine rather than one-time setup.  Each mode is timed
-    best-of-``repeats`` — the comparison is of the two code paths, not of
-    the allocator/scheduler noise a loaded machine adds on top.
+    best-of-``repeats`` — the comparison is of the code paths, not of the
+    allocator/scheduler noise a loaded machine adds on top — and the
+    result reported for a mode is the one produced by its best repeat.
+
+    ``workers >= 2`` additionally times the sharded mode (sequential
+    kernels inside each worker process) and cross-checks it bitwise
+    against the in-process runs.
     """
+    if not eval_indices:
+        raise ValueError(
+            "eval_indices must be non-empty: throughput over zero sequences "
+            "is meaningless (and the warm-up would evaluate nothing)"
+        )
     for i in eval_indices:
         pipeline.dataset[i]
     warm = eval_indices[: min(2, len(eval_indices))]
     pipeline.evaluate(warm)
     pipeline.evaluate(warm, batched=True)
 
-    def best_of(batched: bool):
-        best, result = float("inf"), None
-        for _ in range(max(1, repeats)):
-            t0 = time.perf_counter()
-            result = pipeline.evaluate(eval_indices, batched=batched)
-            best = min(best, time.perf_counter() - t0)
-        return best, result
-
-    seq_s, seq_result = best_of(False)
-    bat_s, bat_result = best_of(True)
+    seq_s, seq_result = _best_of(
+        lambda: pipeline.evaluate(eval_indices), repeats
+    )
+    bat_s, bat_result = _best_of(
+        lambda: pipeline.evaluate(eval_indices, batched=True), repeats
+    )
     frames = int(seq_result.horizontal.count)
-    return {
+    identical = _same_results(seq_result, bat_result)
+    record = {
         "sequences": len(eval_indices),
         "frames": frames,
         "sequential_s": seq_s,
         "batched_s": bat_s,
-        "sequential_fps": frames / seq_s,
-        "batched_fps": frames / bat_s,
-        "speedup": seq_s / bat_s,
-        "bitwise_identical": bool(
-            np.array_equal(seq_result.predictions, bat_result.predictions)
-            and seq_result.stats.transmitted_bytes
-            == bat_result.stats.transmitted_bytes
-        ),
+        "sequential_fps": _rate(frames, seq_s),
+        "batched_fps": _rate(frames, bat_s),
+        "speedup": seq_s / bat_s if bat_s > 0 else float("inf"),
         "stage_seconds_sequential": {
             name: timing.seconds
             for name, timing in seq_result.stage_timings.items()
@@ -70,10 +98,42 @@ def measure_throughput(
             for name, timing in bat_result.stage_timings.items()
         },
     }
+    if workers is not None and workers >= 2:
+        shard_s, shard_result = _best_of(
+            lambda: pipeline.evaluate(eval_indices, workers=workers), repeats
+        )
+        identical = identical and _same_results(seq_result, shard_result)
+        record.update(
+            {
+                # The runner clamps to the sequence count; record what
+                # actually executed, not what was requested.
+                "workers": min(workers, len(eval_indices)),
+                "sharded_s": shard_s,
+                "sharded_fps": _rate(frames, shard_s),
+                "sharded_speedup": (
+                    seq_s / shard_s if shard_s > 0 else float("inf")
+                ),
+                "stage_seconds_sharded": {
+                    name: timing.seconds
+                    for name, timing in shard_result.stage_timings.items()
+                },
+            }
+        )
+    record["bitwise_identical"] = identical
+    return record
+
+
+def _fmt(value: float, digits: int = 0):
+    """Round for display; non-finite values (0-second sections) print
+    as-is instead of overflowing ``round``."""
+    if not np.isfinite(value):
+        return str(value)
+    return round(value, digits) if digits else round(value)
 
 
 def throughput_tables(record: dict) -> list[Table]:
     """The fps table and the per-stage attribution table for a record."""
+    sharded = "sharded_s" in record
     fps = Table(
         ["mode", "frames/sec", "wall (ms)"],
         title=f"engine throughput ({record['frames']} frames, "
@@ -81,24 +141,43 @@ def throughput_tables(record: dict) -> list[Table]:
     )
     fps.add_row(
         "sequential loop",
-        round(record["sequential_fps"]),
-        round(record["sequential_s"] * 1e3),
+        _fmt(record["sequential_fps"]),
+        _fmt(record["sequential_s"] * 1e3),
     )
     fps.add_row(
         "batched lockstep",
-        round(record["batched_fps"]),
-        round(record["batched_s"] * 1e3),
+        _fmt(record["batched_fps"]),
+        _fmt(record["batched_s"] * 1e3),
     )
     fps.add_row("speedup", f"{record['speedup']:.2f}x", "")
+    if sharded:
+        fps.add_row(
+            f"sharded x{record['workers']}",
+            _fmt(record["sharded_fps"]),
+            _fmt(record["sharded_s"] * 1e3),
+        )
+        fps.add_row("sharded speedup", f"{record['sharded_speedup']:.2f}x", "")
 
-    stages = Table(
-        ["stage", "sequential (ms)", "batched (ms)"],
-        title="per-stage wall-clock attribution",
-    )
-    for name, seconds in record["stage_seconds_sequential"].items():
+    # Sequential/batched columns are serial wall time; the sharded column
+    # is CPU time *summed over concurrent workers* (shard timings add),
+    # so it is labelled as such rather than passed off as wall clock.
+    columns = ["stage", "sequential (ms)", "batched (ms)"]
+    modes = ["stage_seconds_sequential", "stage_seconds_batched"]
+    if sharded:
+        columns.append("sharded CPU (ms)")
+        modes.append("stage_seconds_sharded")
+    stages = Table(columns, title="per-stage wall-clock attribution")
+    # Iterate the *union* of stage names: runs configured with different
+    # graphs (e.g. a reuse stage present in only one mode) must not
+    # KeyError — absent stages simply cost 0.0 in that mode.
+    names = []
+    for mode in modes:
+        for name in record[mode]:
+            if name not in names:
+                names.append(name)
+    for name in names:
         stages.add_row(
             name,
-            round(seconds * 1e3, 1),
-            round(record["stage_seconds_batched"][name] * 1e3, 1),
+            *(round(record[mode].get(name, 0.0) * 1e3, 1) for mode in modes),
         )
     return [fps, stages]

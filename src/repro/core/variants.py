@@ -127,11 +127,20 @@ def train_for_strategy(
     regime as the real sensor, whose SRAM RNG resamples each frame.  This
     is what makes random sampling trainable at high compression: the
     network sees many sparse views of each frame instead of one frozen
-    mask.
+    mask.  Deterministic strategies (Full+DS, Skip, ROI+DS, ROI+Fixed)
+    draw nothing from the RNG, so their samples are collected once and
+    every epoch trains on that first pass.  For the stateless ones the
+    re-collection was literally identical work; for Skip it also pins the
+    adaptive gate to a fresh first pass instead of letting its running
+    skip-rate leak across epoch re-collections and silently drift the
+    training set (the same leaked-state bug the per-sequence ``spawn``
+    design fixes on the evaluation side).
     """
     result = None
+    samples = None
     for _ in range(max(1, epochs)):
-        samples = collect_sampled_dataset(strategy, dataset, indices, rng)
+        if samples is None or strategy.stochastic:
+            samples = collect_sampled_dataset(strategy, dataset, indices, rng)
         if not samples:
             raise ValueError("strategy produced no training samples")
         epoch_result = train_segmentation(
@@ -151,6 +160,9 @@ def evaluate_strategy(
     eval_indices: list[int],
     rng: np.random.Generator,
     gaze_estimator: FittedGazeEstimator | None = None,
+    batched: bool = False,
+    batch_size: int | None = None,
+    workers: int | None = None,
 ) -> StrategyEvaluation:
     """Measure gaze error when the host sees ``strategy``-sampled frames.
 
@@ -159,8 +171,11 @@ def evaluate_strategy(
 
     Runs on the shared :mod:`repro.engine` stage runtime: eventify ->
     strategy sampling -> segment-or-reuse -> gaze regression, the same
-    runner the end-to-end tracker uses.  Execution is sequential because
-    the strategy draws from one shared RNG stream across frames.
+    runner the end-to-end tracker uses.  Each sequence samples from its
+    own ``strategy.spawn`` stream keyed by sequence index (derived from
+    ``rng``), so all three execution modes — sequential, ``batched``
+    lockstep, and sharded (``workers >= 2``) — produce bitwise-identical
+    results; Fig. 15 sweeps can fan out freely.
     """
     from repro.engine import build_strategy_graph, strategy_runner
 
@@ -176,8 +191,16 @@ def evaluate_strategy(
         gaze_estimator=gaze_estimator,
         rng=rng,
     )
-    run = strategy_runner(graph).run(
-        [(i, dataset[i]) for i in eval_indices]
+    # The collector below only needs gaze + stats scalars; drop the
+    # O(frame size) intermediates as the run streams (and keep sharded
+    # worker->parent transfers scalar-sized).
+    runner = strategy_runner(
+        graph, batch_size=batch_size, retain_intermediates=False
+    )
+    run = runner.run(
+        [(i, dataset[i]) for i in eval_indices],
+        batched=batched,
+        workers=workers,
     )
 
     preds, truths, compressions = [], [], []

@@ -5,8 +5,9 @@ The paper's system is a staged dataflow (eventification -> ROI prediction
 -> gaze regression).  This package makes that structure executable: a
 :class:`Stage` protocol, a :class:`FrameContext` carrying one frame's
 intermediate products and timings, and a :class:`SequenceRunner` that
-executes stage graphs over batches of sequences — sequentially or in
-bitwise-identical vectorized lockstep.
+executes stage graphs over batches of sequences — sequentially, in
+vectorized lockstep, or sharded over worker processes, all
+bitwise-identical.
 
 ``BlissCamPipeline.evaluate``, ``core.variants.evaluate_strategy``, the
 ablation runners, the CLI, and the figure benchmarks are all thin
@@ -15,6 +16,7 @@ configurations over this one runtime (see ``docs/architecture.md``).
 
 from repro.engine.context import FrameContext, SequenceState
 from repro.engine.graphs import (
+    SensorSpawnFactory,
     build_strategy_graph,
     build_tracking_graph,
     strategy_runner,
@@ -59,4 +61,5 @@ __all__ = [
     "build_strategy_graph",
     "tracking_runner",
     "strategy_runner",
+    "SensorSpawnFactory",
 ]

@@ -67,8 +67,11 @@ class FrameContext:
         stage has consumed the frame: evaluation collectors only need
         ``gaze_pred``/``gaze_true``/``stats``/``stage_times``, while the
         arrays here are O(frame size) each and would otherwise keep the
-        whole run resident.
+        whole run resident — and, in sharded mode, be pickled back from
+        the worker process for nothing.  The input ``frame`` is released
+        too: no stage touches it after the frame's own timestep.
         """
+        self.frame = None
         self.event_map = None
         self.sample_mask = None
         self.readout = None

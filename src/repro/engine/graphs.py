@@ -5,11 +5,17 @@ The tracking graph is the full in-sensor/host dataflow of Fig. 8 — what
 harness — what ``core.variants.evaluate_strategy`` runs.  Both are plain
 :class:`~repro.engine.stage.StageGraph` instances over the same runner, so
 every figure benchmark and the CLI exercise one code path.
+
+Everything a graph closes over (predictors, state factories) is kept as a
+plain picklable class rather than a closure: the sharded execution mode
+ships the runner — graph, stages and state factory included — to worker
+processes.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
 
@@ -35,6 +41,7 @@ __all__ = [
     "build_strategy_graph",
     "tracking_runner",
     "strategy_runner",
+    "SensorSpawnFactory",
 ]
 
 
@@ -69,6 +76,27 @@ def build_tracking_graph(
     )
 
 
+@dataclass
+class SensorSpawnFactory:
+    """``seq_index -> SequenceState`` with a per-sequence sensor spawn.
+
+    A plain class (not a closure) so sharded runners can pickle it to
+    worker processes.  Runtime noise streams are keyed by
+    ``(sensor_seed, seq_index)`` — order- and process-insensitive, so
+    sequential, lockstep and sharded execution draw identical randomness.
+    """
+
+    sensor_template: Any
+    sensor_seed: int
+
+    def __call__(self, seq_index: int) -> SequenceState:
+        state = SequenceState(seq_index=seq_index)
+        state.sensor = self.sensor_template.spawn(
+            [self.sensor_seed, seq_index]
+        )
+        return state
+
+
 def tracking_runner(
     *,
     sensor_template,
@@ -81,18 +109,12 @@ def tracking_runner(
 
     Each sequence gets a clone of the calibrated template chip whose
     runtime noise streams are keyed by ``(sensor_seed, seq_index)`` —
-    order-insensitive, so sequential and lockstep execution draw
+    order-insensitive, so sequential, lockstep and sharded execution draw
     identical randomness.
     """
-
-    def state_factory(seq_index: int) -> SequenceState:
-        state = SequenceState(seq_index=seq_index)
-        state.sensor = sensor_template.spawn([sensor_seed, seq_index])
-        return state
-
     return SequenceRunner(
         graph,
-        state_factory,
+        SensorSpawnFactory(sensor_template, sensor_seed),
         batch_size=batch_size,
         retain_intermediates=retain_intermediates,
     )
@@ -107,20 +129,43 @@ def build_strategy_graph(
     use_gt_roi: bool = True,
     sigma: float | None = None,
 ) -> StageGraph:
-    """The Fig. 12/15 strategy-evaluation dataflow as a stage graph."""
+    """The Fig. 12/15 strategy-evaluation dataflow as a stage graph.
+
+    ``rng`` seeds the *per-sequence* strategy spawns: one draw derives a
+    base seed and every sequence samples from its own
+    ``strategy.spawn([base_seed, seq_index])`` stream (mirroring the
+    sensor's spawn design).  Streams are keyed by sequence index, never
+    by execution order, so strategy graphs run sequentially, in lockstep,
+    or sharded with bitwise-identical results.
+    """
+    strategy_seed = int(rng.integers(2**32))
     return StageGraph(
         [
             EventifyPairStage(sigma=sigma),
-            StrategySampleStage(strategy, rng, use_gt_roi=use_gt_roi),
+            StrategySampleStage(strategy, strategy_seed, use_gt_roi=use_gt_roi),
             SegmentOrReuseStage(segmenter),
-            # Historical harness behaviour: the estimator's fallback state
-            # crosses sequence boundaries (and the shared strategy RNG
-            # already serializes execution), so no per-sequence state.
-            GazeRegressStage(gaze_estimator, per_sequence_state=False),
+            # Per-sequence fallback state, like the tracking graph: the
+            # estimator's last-gaze fallback must not cross sequence
+            # boundaries or batched/sharded runs would diverge from the
+            # sequential reference.
+            GazeRegressStage(gaze_estimator, per_sequence_state=True),
         ]
     )
 
 
-def strategy_runner(graph: StageGraph) -> SequenceRunner:
-    """Strategy graphs share one RNG across frames: sequential only."""
-    return SequenceRunner(graph)
+def strategy_runner(
+    graph: StageGraph,
+    batch_size: int | None = None,
+    retain_intermediates: bool = True,
+) -> SequenceRunner:
+    """A runner for strategy graphs.
+
+    Per-sequence strategy spawns (see :func:`build_strategy_graph`) make
+    sequences independent, so all three execution modes — sequential,
+    batched lockstep, and sharded — are available and bitwise-equivalent.
+    Pass ``retain_intermediates=False`` when only the per-frame scalars
+    (gaze, stats) are consumed, e.g. ``evaluate_strategy``.
+    """
+    return SequenceRunner(
+        graph, batch_size=batch_size, retain_intermediates=retain_intermediates
+    )

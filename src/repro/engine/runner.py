@@ -1,6 +1,7 @@
 """The sequence runner: executes a stage graph over batches of sequences.
 
-Two execution modes share one stage graph and one set of numeric kernels:
+Three execution modes share one stage graph and one set of numeric
+kernels:
 
 * **sequential** — the reference mode: sequences one after another, frames
   in order, each stage's ``process`` per frame.  This is the staged
@@ -13,16 +14,27 @@ Two execution modes share one stage graph and one set of numeric kernels:
   cross-frame state lives in its ``SequenceState``), the two modes draw
   identical random streams and produce bitwise-identical contexts — the
   engine test suite asserts this end-to-end.
+* **sharded** — ``workers >= 2`` partitions the sequence rank into
+  contiguous shards and executes each shard in a worker *process* using
+  the sequential or batched kernels above.  Sequences share no mutable
+  state (per-sequence random streams are keyed by sequence index, never
+  by execution order), so a shard's results do not depend on which
+  process runs it: merged ``EngineRun``s are bitwise-identical to the
+  single-process modes.  Requires the graph, the state factory and the
+  sequences to be picklable — the canonical graphs keep their callables
+  as plain classes for exactly this reason.
 
 Results come back as an :class:`EngineRun`: the completed frame contexts
-in *sequence-major* order (identical ordering in both modes, so
+in *sequence-major* order (identical ordering in all modes, so
 downstream accuracy statistics are reduction-order independent) plus
 per-stage wall-clock timings for throughput/attribution reporting.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -55,6 +67,8 @@ class EngineRun:
     stage_timings: dict[str, StageTiming]
     wall_seconds: float
     batched: bool
+    #: Worker processes the run was sharded over (1 = in-process).
+    workers: int = 1
 
     @property
     def evaluated(self) -> list[FrameContext]:
@@ -69,6 +83,32 @@ class EngineRun:
 
 def _default_state_factory(seq_index: int) -> SequenceState:
     return SequenceState(seq_index=seq_index)
+
+
+def _execute_shard(
+    runner: "SequenceRunner",
+    shard: list[tuple[int, Any]],
+    batched: bool,
+) -> tuple[list[FrameContext], dict[str, StageTiming]]:
+    """Run one shard with the in-process kernels (worker-side entry point).
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; the runner (graph + state factory) travels with the task.
+    """
+    timings = {name: StageTiming() for name in runner.graph.stage_names}
+    if batched:
+        contexts = runner._run_batched(shard, timings)
+    else:
+        contexts = runner._run_sequential(shard, timings)
+    return contexts, timings
+
+
+def _pool_context():
+    """Prefer fork (inherits the warm interpreter; cheap at CI scale)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix platforms
+        return multiprocessing.get_context()
 
 
 class SequenceRunner:
@@ -137,23 +177,81 @@ class SequenceRunner:
         self,
         sequences: Sequence[tuple[int, Any]],
         batched: bool = False,
+        workers: int | None = None,
     ) -> EngineRun:
-        """Run the graph over ``[(seq_index, sequence), ...]``."""
-        timings: dict[str, StageTiming] = {
-            name: StageTiming() for name in self.graph.stage_names
-        }
+        """Run the graph over ``[(seq_index, sequence), ...]``.
+
+        ``workers >= 2`` shards the sequence rank across that many worker
+        processes; each shard runs the sequential or batched kernels
+        (per ``batched``) and the merged result is bitwise-identical to
+        the single-process modes.  ``None``/``1`` runs in-process.
+        """
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        sequences = list(sequences)
+        n_workers = min(workers or 1, len(sequences))
         start = time.perf_counter()
-        if batched:
-            contexts = self._run_batched(sequences, timings)
+        if n_workers >= 2:
+            contexts, timings = self._run_sharded(sequences, batched, n_workers)
         else:
-            contexts = self._run_sequential(sequences, timings)
+            n_workers = 1
+            timings = {name: StageTiming() for name in self.graph.stage_names}
+            if batched:
+                contexts = self._run_batched(sequences, timings)
+            else:
+                contexts = self._run_sequential(sequences, timings)
         wall = time.perf_counter() - start
         return EngineRun(
             contexts=contexts,
             stage_timings=timings,
             wall_seconds=wall,
             batched=batched,
+            workers=n_workers,
         )
+
+    def _run_sharded(
+        self,
+        sequences: list[tuple[int, Any]],
+        batched: bool,
+        workers: int,
+    ) -> tuple[list[FrameContext], dict[str, StageTiming]]:
+        # Contiguous balanced shards: concatenating shard outputs in shard
+        # order reproduces the sequence-major ordering of the in-process
+        # modes exactly.
+        bounds = np.linspace(0, len(sequences), workers + 1).astype(int)
+        shards = [
+            sequences[lo:hi]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=_pool_context()
+        ) as pool:
+            # map() preserves shard order; sequences within a shard keep
+            # their relative order inside the worker.
+            results = list(
+                pool.map(
+                    _execute_shard,
+                    [self] * len(shards),
+                    shards,
+                    [batched] * len(shards),
+                )
+            )
+        contexts: list[FrameContext] = []
+        timings: dict[str, StageTiming] = {
+            name: StageTiming() for name in self.graph.stage_names
+        }
+        # Summed timings are CPU seconds across *concurrent* workers —
+        # attribution shares stay meaningful, but they are not wall clock
+        # (the run's wall_seconds is measured by the caller).
+        for shard_contexts, shard_timings in results:
+            contexts.extend(shard_contexts)
+            for name, timing in shard_timings.items():
+                total = timings[name]
+                total.seconds += timing.seconds
+                total.frames += timing.frames
+                total.calls += timing.calls
+        return contexts, timings
 
     def _run_sequential(self, sequences, timings) -> list[FrameContext]:
         contexts: list[FrameContext] = []

@@ -112,9 +112,24 @@ class ROIPredictStage(Stage):
         ctx.roi_box_norm = box_norm
         ctx.roi_box = box_to_pixels(box_norm, self.height, self.width)
 
-    # The conv forward is *not* batch-invariant at the bitwise level
-    # (BLAS kernel selection depends on the stacked batch size), so the
-    # batched mode keeps the per-frame loop — the default process_batch.
+    def process_batch(self, ctxs, seqs) -> None:
+        # Predictors exposing ``predict_batch`` guarantee row-independent
+        # forwards (the conv is a per-sample GEMM, the FC tail runs
+        # per-row), so stacking the rank is bitwise-identical to the
+        # per-frame loop.  Plain callables fall back to that loop.
+        batch = getattr(self.predictor, "predict_batch", None)
+        if batch is None:
+            for ctx, seq in zip(ctxs, seqs):
+                self.process(ctx, seq)
+            return
+        boxes = batch(
+            [ctx.event_map for ctx in ctxs],
+            [seq.prev_seg_pred for seq in seqs],
+        )
+        for ctx, box in zip(ctxs, boxes):
+            box_norm = order_box(np.asarray(box))
+            ctx.roi_box_norm = box_norm
+            ctx.roi_box = box_to_pixels(box_norm, self.height, self.width)
 
 
 class ROIReuseStage(Stage):
@@ -149,6 +164,19 @@ class ROIReuseStage(Stage):
         else:
             self.inner.process(ctx, seq)
             policy.update(ctx.roi_box_norm)
+
+    def process_batch(self, ctxs, seqs) -> None:
+        if self.window == 1:
+            # Every lane predicts every frame, so the whole rank can go to
+            # the inner stage's batched path in one call.
+            self.inner.process_batch(ctxs, seqs)
+            for ctx, seq in zip(ctxs, seqs):
+                seq.slots[self.name].update(ctx.roi_box_norm)
+        else:
+            # Lanes disagree on predict-vs-reuse; the per-frame state
+            # machine is cheap, so fall back to the scalar loop.
+            for ctx, seq in zip(ctxs, seqs):
+                self.process(ctx, seq)
 
 
 class SampleStage(Stage):
@@ -322,19 +350,31 @@ class EventifyPairStage(Stage):
 
 
 class StrategySampleStage(Stage):
-    """Apply one Fig. 15 sampling strategy to the eventified frame."""
+    """Apply one Fig. 15 sampling strategy to the eventified frame.
+
+    The stage holds a *template* strategy plus a base seed; every
+    sequence gets its own ``strategy.spawn([seed, seq_index])`` — a clone
+    with fresh per-sequence adaptive state and an RNG stream keyed by
+    sequence index (mirroring the sensor's spawn design).  Keying by
+    index rather than execution order is what makes sequential, lockstep
+    and sharded runs draw identical randomness.
+    """
 
     name = "strategy_sample"
 
-    def __init__(self, strategy, rng: np.random.Generator, use_gt_roi: bool = True):
+    def __init__(self, strategy, seed: int, use_gt_roi: bool = True):
         self.strategy = strategy
-        self.rng = rng
+        self.seed = seed
         self.use_gt_roi = use_gt_roi
 
+    def start_sequence(self, seq: SequenceState) -> None:
+        seq.slots[self.name] = self.strategy.spawn([self.seed, seq.seq_index])
+
     def process(self, ctx: FrameContext, seq: SequenceState) -> None:
+        strategy = seq.slots[self.name]
         roi_box = ctx.gt_box if self.use_gt_roi else None
-        decision = self.strategy.sample(
-            ctx.frame, ctx.event_map, roi_box, self.rng
+        decision = strategy.sample(
+            ctx.frame, ctx.event_map, roi_box, strategy.rng
         )
         ctx.mask = decision.mask
         ctx.sparse_frame = decision.sparse_frame

@@ -47,7 +47,13 @@ class Conv2d(Module):
         cols, oh, ow = F.im2col(x, self.kernel_size, self.stride, self.padding)
         self._cols = cols  # (B, C*K*K, OH*OW)
         w = self.weight.data.reshape(self.out_channels, -1)  # (O, C*K*K)
-        out = np.einsum("ok,bkp->bop", w, cols)
+        # Row-independent GEMM: one (O, K) @ (K, P) product per sample.
+        # Each sample's GEMM has a batch-size-independent shape, so the
+        # result is bitwise-invariant under stacking (a batched einsum /
+        # batched BLAS call is not — kernel selection and accumulation
+        # order can depend on the stacked batch size).  The staged
+        # engine's batched ROI-predict path relies on this contract.
+        out = np.stack([w @ cols[b] for b in range(cols.shape[0])])
         if self.bias is not None:
             out = out + self.bias.data[None, :, None]
         return out.reshape(x.shape[0], self.out_channels, oh, ow)

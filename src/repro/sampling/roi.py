@@ -184,6 +184,37 @@ class ROIPredictor(nn.Module):
         out = self.forward(self.make_input(event_map, prev_segmentation))
         return order_box(out[0])
 
+    def predict_box_batch(
+        self,
+        event_maps: list[np.ndarray],
+        prev_segmentations: list[np.ndarray | None],
+    ) -> list[np.ndarray]:
+        """Batched :meth:`predict_box`, bitwise-equal to the per-frame loop.
+
+        The conv trunk is safe to stack: im2col is a pure gather and the
+        conv GEMM is row-independent by construction (one fixed-shape
+        matmul per sample — see :class:`~repro.nn.conv.Conv2d`).  The FC
+        tail is *not* provably batch-invariant (a stacked ``(B, F) @
+        (F, O)`` BLAS call may block differently per ``B``), so it runs
+        per-row — it is a tiny fraction of the predictor's MACs.
+        """
+        x = np.concatenate(
+            [
+                self.make_input(event, seg)
+                for event, seg in zip(event_maps, prev_segmentations)
+            ]
+        )
+        h = self.act1(self.conv1(x))
+        h = self.act2(self.conv2(h))
+        h = self.act3(self.conv3(h))
+        flat = self.flatten(h)
+        boxes = []
+        for b in range(flat.shape[0]):
+            row = self.act4(self.fc1(flat[b : b + 1]))
+            out = self.out_act(self.fc2(row))
+            boxes.append(order_box(out[0]))
+        return boxes
+
     def mac_count(self) -> int:
         """Multiply-accumulates for one forward pass (paper: ~2.1e7)."""
         h, w = self.height, self.width

@@ -24,6 +24,8 @@ the paper's accounting.
 
 from __future__ import annotations
 
+import copy
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -80,11 +82,41 @@ class SamplingStrategy:
     """Base interface: produce a :class:`SamplingDecision` per frame."""
 
     name = "base"
+    #: True when :meth:`sample` draws from the per-frame RNG stream —
+    #: stochastic strategies produce a fresh mask on every call, while
+    #: deterministic ones (Full+DS, Skip, ROI+DS, ROI+Fixed) are a pure
+    #: function of the frame inputs and their own per-sequence state.
+    stochastic = True
 
     def __init__(self, compression: float):
         if compression < 1.0:
             raise ValueError(f"compression rate must be >= 1: {compression}")
         self.compression = compression
+        #: Populated by :meth:`spawn`; per-sequence clones carry their own
+        #: stream so execution order (lockstep, sharding) can't change
+        #: what each sequence draws.
+        self.rng: np.random.Generator | None = None
+
+    def spawn(self, seed_key) -> "SamplingStrategy":
+        """A per-sequence clone with fresh adaptive state and RNG stream.
+
+        Mirrors :meth:`BlissCamSensor.spawn`: everything fixed at
+        construction/fit time (compression target, fitted masks, scorers)
+        is shared, while the mutable per-sequence pieces — the adaptive
+        state (:meth:`_reset_state`) and the random stream keyed by
+        ``seed_key`` — are independent.  The staged engine spawns one
+        clone per evaluated sequence, keyed by sequence index, which is
+        what lets strategy graphs run batched and sharded bitwise-equal
+        to the sequential loop.
+        """
+        key = list(seed_key) if np.iterable(seed_key) else [int(seed_key)]
+        clone = copy.copy(self)
+        clone.rng = np.random.default_rng(key)
+        clone._reset_state()
+        return clone
+
+    def _reset_state(self) -> None:
+        """Reset per-sequence adaptive state (overridden by Skip)."""
 
     def sample(
         self,
@@ -113,6 +145,7 @@ class FullDownsample(SamplingStrategy):
     """FULL+DS: regular-grid downsample of the entire frame."""
 
     name = "Full+DS"
+    stochastic = False
 
     def sample(self, frame, event_map, roi_box, rng):
         mask = rs.uniform_grid_mask(frame.shape, 1.0 / self.compression)
@@ -130,12 +163,19 @@ class SkipStrategy(SamplingStrategy):
     """
 
     name = "Skip"
+    stochastic = False
 
     def __init__(self, compression: float, density_threshold: float | None = None):
         super().__init__(compression)
         self.density_threshold = (
             density_threshold if density_threshold is not None else 0.01
         )
+        self._frames_seen = 0
+        self._frames_sent = 0
+
+    def _reset_state(self) -> None:
+        # The adaptive send-rate gate restarts per sequence: spawned
+        # clones must not inherit another sequence's running skip rate.
         self._frames_seen = 0
         self._frames_sent = 0
 
@@ -161,6 +201,7 @@ class ROIDownsample(SamplingStrategy):
     """ROI+DS: regular grid restricted to the predicted ROI."""
 
     name = "ROI+DS"
+    stochastic = False
 
     def sample(self, frame, event_map, roi_box, rng):
         box = roi_box or self._full_frame_box(frame)
@@ -181,6 +222,7 @@ class ROIFixed(SamplingStrategy):
     compression: float
     _prob_map: np.ndarray | None = field(default=None, repr=False)
     name = "ROI+Fixed"
+    stochastic = False
 
     def __post_init__(self):
         SamplingStrategy.__init__(self, self.compression)

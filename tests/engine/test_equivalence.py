@@ -150,9 +150,16 @@ class TestStagedEqualsPreRefactor:
 
     def test_strategy_parity(self):
         """``evaluate_strategy`` on the engine == the pre-refactor harness
-        loop, for both a stochastic and a stateful (SKIP) strategy."""
-        from repro.core.variants import _frame_decisions
+        loop, for both a stochastic and a stateful (SKIP) strategy.
+
+        The reference is the seed harness loop ported to the engine's
+        per-sequence stream semantics: every sequence samples from its own
+        ``strategy.spawn([seed, seq_index])`` clone and the gaze fallback
+        resets at sequence boundaries (exactly as the tracking reference
+        was ported to per-sequence sensor spawns in PR 1).
+        """
         from repro.gaze.estimation import FittedGazeEstimator
+        from repro.sampling.eventification import eventify
 
         dataset = SyntheticEyeDataset(
             DatasetConfig(
@@ -170,48 +177,58 @@ class TestStagedEqualsPreRefactor:
         gazes = np.concatenate([dataset[i].gazes for i in eval_idx])
 
         for name in ("Ours (ROI+Random)", "Skip"):
-            # Pre-refactor loop (transcribed from the seed repository).
+            # Pre-refactor loop under per-sequence stream semantics.  The
+            # seed derivation mirrors build_strategy_graph exactly.
             est_ref = FittedGazeEstimator()
             est_ref.fit(segs, gazes)
-            strategy_ref = make_strategy(name, 4.0, dataset=dataset)
-            rng_ref = np.random.default_rng(7)
+            template = make_strategy(name, 4.0, dataset=dataset)
+            seed = int(np.random.default_rng(7).integers(2**32))
             preds_ref, truths_ref, comps_ref = [], [], []
-            prev_seg = None
-            for decision, _cur, _seg, gaze, _si, t in _frame_decisions(
-                strategy_ref, dataset, eval_idx, rng_ref
-            ):
-                if t == 1:
-                    prev_seg = None
-                if decision.reuse_previous and prev_seg is not None:
-                    seg_pred = prev_seg
-                else:
-                    seg_pred = vit.predict(decision.sparse_frame, decision.mask)
-                    comps_ref.append(min(decision.compression, 1e6))
-                prev_seg = seg_pred
-                preds_ref.append(est_ref.predict(seg_pred))
-                truths_ref.append(gaze)
+            for seq_index in eval_idx:
+                seq = dataset[seq_index]
+                strategy = template.spawn([seed, seq_index])
+                est_ref.fallback_state = est_ref.INITIAL_FALLBACK
+                prev_seg = None
+                for t in range(1, len(seq)):
+                    event_map = eventify(seq.frames[t - 1], seq.frames[t])
+                    decision = strategy.sample(
+                        seq.frames[t], event_map, seq.roi_boxes[t], strategy.rng
+                    )
+                    if decision.reuse_previous and prev_seg is not None:
+                        seg_pred = prev_seg
+                    else:
+                        seg_pred = vit.predict(
+                            decision.sparse_frame, decision.mask
+                        )
+                        comps_ref.append(min(decision.compression, 1e6))
+                    prev_seg = seg_pred
+                    preds_ref.append(est_ref.predict(seg_pred))
+                    truths_ref.append(seq.gazes[t])
 
-            # Engine-backed harness with identically seeded inputs.
-            est_new = FittedGazeEstimator()
-            est_new.fit(segs, gazes)
-            result = evaluate_strategy(
-                make_strategy(name, 4.0, dataset=dataset),
-                vit,
-                dataset,
-                eval_idx,
-                np.random.default_rng(7),
-                gaze_estimator=est_new,
-            )
-            assert result.frames == len(preds_ref)
-            expected_compression = (
-                float(np.mean(comps_ref)) if comps_ref else 1.0
-            )
-            assert result.mean_compression == expected_compression
-            ref_h, ref_v = angular_errors(
-                np.array(preds_ref), np.array(truths_ref)
-            )
-            assert result.horizontal == ref_h
-            assert result.vertical == ref_v
+            # Engine-backed harness with identically seeded inputs, in
+            # every execution mode.
+            for mode in ({}, {"batched": True}, {"workers": 2}):
+                est_new = FittedGazeEstimator()
+                est_new.fit(segs, gazes)
+                result = evaluate_strategy(
+                    make_strategy(name, 4.0, dataset=dataset),
+                    vit,
+                    dataset,
+                    eval_idx,
+                    np.random.default_rng(7),
+                    gaze_estimator=est_new,
+                    **mode,
+                )
+                assert result.frames == len(preds_ref)
+                expected_compression = (
+                    float(np.mean(comps_ref)) if comps_ref else 1.0
+                )
+                assert result.mean_compression == expected_compression
+                ref_h, ref_v = angular_errors(
+                    np.array(preds_ref), np.array(truths_ref)
+                )
+                assert result.horizontal == ref_h
+                assert result.vertical == ref_v
 
 
 class TestVectorizedKernels:

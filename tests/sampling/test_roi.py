@@ -146,3 +146,41 @@ class TestROIReusePolicy:
         policy.update(np.array([0, 0, 1, 1]))
         policy.reset()
         assert policy.should_predict()
+
+
+class TestBatchInvariance:
+    """The ROI predictor's batch-invariance contract (bitwise).
+
+    The conv layers are row-independent GEMMs (one fixed-shape matmul per
+    sample, see ``Conv2d.forward``) and the batched box predictor runs
+    its FC tail per-row, so stacking frames into one forward must produce
+    bit-identical boxes to the per-frame loop — the contract the staged
+    engine's batched ROI-predict path is built on.
+    """
+
+    def test_conv_forward_batch_invariant(self):
+        from repro import nn
+
+        rng = np.random.default_rng(0)
+        conv = nn.Conv2d(2, 8, kernel_size=3, rng=rng, stride=2, padding=1)
+        x = rng.random((7, 2, 16, 16))
+        stacked = conv(x)
+        for b in range(x.shape[0]):
+            solo = conv(x[b : b + 1])
+            assert np.array_equal(stacked[b], solo[0]), f"sample {b} diverged"
+
+    def test_predict_box_batch_matches_per_frame(self):
+        rng = np.random.default_rng(5)
+        predictor = ROIPredictor(32, 32, rng, base_channels=4)
+        events = [rng.random((32, 32)) < 0.1 for _ in range(5)]
+        segs = [
+            None,
+            rng.integers(0, 4, size=(32, 32)),
+            None,
+            rng.integers(0, 4, size=(32, 32)),
+            rng.integers(0, 4, size=(32, 32)),
+        ]
+        batched = predictor.predict_box_batch(events, segs)
+        for i, (event, seg) in enumerate(zip(events, segs)):
+            solo = predictor.predict_box(event, seg)
+            assert np.array_equal(batched[i], solo), f"frame {i} diverged"

@@ -173,3 +173,69 @@ class TestStrategies:
         np.testing.assert_array_equal(
             decision.sparse_frame[decision.mask], frame[decision.mask]
         )
+
+
+class TestSpawn:
+    """Per-sequence strategy spawns (mirrors the sensor's spawn design)."""
+
+    def test_stochastic_flags(self):
+        assert FullRandom.stochastic
+        assert ROIRandom.stochastic
+        assert ROILearned.stochastic
+        assert not FullDownsample.stochastic
+        assert not ROIDownsample.stochastic
+        assert not ROIFixed.stochastic
+        assert not SkipStrategy.stochastic
+
+    def test_spawn_keyed_streams_are_reproducible(self):
+        frame, event, box = _fixture_frame()
+        template = ROIRandom(8.0)
+        a = template.spawn([42, 3])
+        b = template.spawn([42, 3])
+        other = template.spawn([42, 4])
+        da = a.sample(frame, event, box, a.rng)
+        db = b.sample(frame, event, box, b.rng)
+        dc = other.sample(frame, event, box, other.rng)
+        assert np.array_equal(da.mask, db.mask)  # same key, same stream
+        assert not np.array_equal(da.mask, dc.mask)  # different sequence
+
+    def test_spawn_does_not_touch_the_template(self):
+        template = ROIRandom(8.0)
+        assert template.rng is None
+        clone = template.spawn(7)
+        assert clone is not template
+        assert clone.rng is not None
+        assert template.rng is None
+
+    def test_skip_spawn_resets_adaptive_state(self):
+        frame, _, box = _fixture_frame()
+        template = SkipStrategy(compression=4.0)
+        # Drive the template's adaptive gate away from its initial state.
+        busy = np.ones(SHAPE, dtype=bool)
+        for _ in range(5):
+            template.sample(frame, busy, box, RNG)
+        clone = template.spawn([1, 0])
+        assert clone._frames_seen == 0
+        assert clone._frames_sent == 0
+        assert template._frames_seen == 5  # template untouched
+
+    def test_skip_spawned_clones_are_independent(self):
+        frame, _, box = _fixture_frame()
+        template = SkipStrategy(compression=4.0)
+        a = template.spawn([1, 0])
+        b = template.spawn([1, 1])
+        busy = np.ones(SHAPE, dtype=bool)
+        a.sample(frame, busy, box, a.rng)
+        assert a._frames_sent == 1
+        assert b._frames_sent == 0
+
+    def test_roi_fixed_spawn_shares_fitted_map(self):
+        template = ROIFixed(compression=36.0)
+        fg = np.zeros((5, *SHAPE), dtype=bool)
+        fg[:, 20:28, 20:28] = True
+        template.fit(fg)
+        clone = template.spawn([0, 0])
+        assert clone._prob_map is template._prob_map  # fit-time state shared
+        frame, event, box = _fixture_frame()
+        decision = clone.sample(frame, event, box, clone.rng)
+        assert decision.transmitted_pixels == 64
