@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.session import LIVELY_DYNAMICS
 from repro.core import ci
 from repro.segmentation import ViTConfig, ViTSegmenter
-from repro.synth import DatasetConfig, GazeDynamicsConfig, SyntheticEyeDataset
+from repro.synth import DatasetConfig, SyntheticEyeDataset
 
 #: Common CI-scale experiment geometry (kept small so the whole harness
 #: finishes in minutes of pure-numpy compute).
@@ -34,11 +35,10 @@ BENCH_EPOCHS = 6
 #: Livelier oculomotor statistics so short sequences still contain
 #: saccades and pursuits — otherwise a degenerate "predict the centre"
 #: tracker looks perfect and the accuracy figures lose their signal.
-BENCH_DYNAMICS = GazeDynamicsConfig(
-    fixation_mean_s=0.03,
-    pursuit_prob=0.3,
-    saccade_amplitude=(5.0, 20.0),
-)
+#: This is the spec's ``dataset.dynamics == "lively"`` preset, shared by
+#: construction so the declarative benches cannot drift from the
+#: imperative ones.
+BENCH_DYNAMICS = LIVELY_DYNAMICS
 
 
 def bench_dataset(seed: int = 0, fps: float = 120.0) -> SyntheticEyeDataset:
@@ -90,6 +90,25 @@ def bench_pipeline_config(
         ),
         joint=replace(config.joint, epochs=BENCH_EPOCHS),
     )
+
+
+def bench_evaluate_spec(fps: float = 120.0, seed: int = 0) -> dict:
+    """The ``bench_pipeline_config`` geometry as a declarative
+    ``repro.api`` evaluate spec — for benchmarks that route through the
+    front door (and get ``RunResult.stage_timings`` for free)."""
+    return {
+        "workload": "evaluate",
+        "dataset": {
+            "num_sequences": BENCH_SEQUENCES,
+            "frames_per_sequence": BENCH_FRAMES,
+            "fps": fps,
+            "seed": seed,
+            "eye_scale": BENCH_EYE_SCALE,
+            "dynamics": "lively",
+        },
+        "training": {"epochs": BENCH_EPOCHS},
+        "execution": {"fps": fps},
+    }
 
 
 def once(benchmark, fn):

@@ -1,25 +1,30 @@
-"""Engine throughput: sequential loop vs batched lockstep vs sharded.
+"""Engine throughput: sequential vs batched vs sharded (fresh + persistent pool).
 
 Not a paper figure — this benchmark seeds the performance trajectory of
-the staged execution engine (``repro.engine``).  It trains one tracker,
-evaluates the same held-out sequences in all execution modes (via the
-shared :mod:`repro.core.throughput` harness the CLI also uses), verifies
-the results are bitwise identical, and reports frames/sec plus the
-per-stage wall-clock attribution the engine collects (the measured
-counterpart of the Figs. 13/14 breakdowns).
+the staged execution engine (``repro.engine``).  It runs one declarative
+``throughput`` spec through ``repro.api`` — the same front door the CLI
+uses — which trains one tracker (session-memoized), evaluates the same
+held-out sequences in all execution modes, verifies the results are
+bitwise identical, and reports frames/sec plus the per-stage wall-clock
+attribution the engine collects (the measured counterpart of the
+Figs. 13/14 breakdowns).
 
-Writes ``BENCH_engine.json`` at the repository root so successive PRs can
-track the loop-vs-batched-vs-sharded trajectory.
+The sharded mode is timed twice: forking a fresh pool per call (the
+pre-``Session`` behaviour) and dispatching work-stealing shards onto the
+session's *persistent* pool — ``pool_reuse_speedup`` is the ratio, i.e.
+what reusing one pool buys repeated short-rank runs.
+
+Writes ``BENCH_engine.json`` at the repository root (via the shared
+``RunResult`` serializer) so successive PRs can track the trajectory.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
-from _helpers import bench_pipeline_config, once
-from repro.core import BlissCamPipeline
-from repro.core.throughput import measure_throughput, throughput_tables
+from _helpers import BENCH_EPOCHS, BENCH_EYE_SCALE, once
+from repro.api import ExperimentSpec, Session
+from repro.core.throughput import throughput_tables
 
 #: Wide evaluation rank: lockstep batching pays off when many sequences
 #: run together (production batch serving), so the bench evaluates 30.
@@ -30,25 +35,41 @@ EVAL_INDICES = list(range(2, SEQUENCES))
 
 #: The PR acceptance bar for the batched mode at CI scale.
 TARGET_SPEEDUP = 1.5
-#: Worker processes for the sharded mode.  Its *speedup* is recorded but
-#: not gated: it tracks available cores (this container may have one),
-#: while its bitwise identity to the sequential loop is always enforced.
+#: Worker processes for the sharded modes.  Their *speedups* are recorded
+#: but not gated: they track available cores (this container may have
+#: one), while bitwise identity to the sequential loop is always enforced.
 WORKERS = 2
 
 _RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
+#: The bench as a declarative spec.  Dynamics/eye-scale/epochs match the
+#: historical ``bench_pipeline_config`` by construction: the "lively"
+#: spec preset *is* ``BENCH_DYNAMICS`` (same object) and the epochs come
+#: from ``BENCH_EPOCHS``.
+BENCH_SPEC = {
+    "workload": "throughput",
+    "dataset": {
+        "num_sequences": SEQUENCES,
+        "frames_per_sequence": FRAMES,
+        "seed": 11,
+        "eye_scale": BENCH_EYE_SCALE,
+        "dynamics": "lively",
+    },
+    "training": {"train_indices": TRAIN_INDICES, "epochs": BENCH_EPOCHS},
+    "execution": {
+        "workers": WORKERS,
+        "repeats": 3,
+        "eval_indices": EVAL_INDICES,
+    },
+}
+
 
 def run_engine_throughput() -> dict:
-    config = bench_pipeline_config(
-        seed=11, num_sequences=SEQUENCES, frames_per_sequence=FRAMES
-    )
-    pipeline = BlissCamPipeline(config)
-    pipeline.train(TRAIN_INDICES)
-    record = measure_throughput(
-        pipeline, EVAL_INDICES, repeats=3, workers=WORKERS
-    )
-    _RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
-    return record
+    spec = ExperimentSpec.from_dict(BENCH_SPEC)
+    with Session() as session:
+        result = session.run(spec)
+        result.write_json(_RESULT_PATH)
+    return result.metrics
 
 
 def test_engine_throughput(benchmark):
@@ -65,6 +86,8 @@ def test_engine_throughput(benchmark):
         f"batched mode only {record['speedup']:.2f}x over sequential "
         f"(target {TARGET_SPEEDUP}x)"
     )
-    # The sharded trajectory is recorded for successive PRs to track.
+    # The sharded trajectories (fresh pool per call vs the session's
+    # persistent pool) are recorded for successive PRs to track.
     assert record["workers"] == WORKERS
     assert record["sharded_speedup"] > 0
+    assert record["pool_reuse_speedup"] > 0

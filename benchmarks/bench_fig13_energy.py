@@ -6,12 +6,16 @@ frame buffer leaks; off-sensor work is ~60 % of NPU-Full; the seg-map
 backhaul and RLE overheads are 0.6 % and 0.04 % of BlissCam's total.
 
 The workload fractions (ROI size, sampled pixels, valid tokens) are
-*measured* by running the trained functional pipeline, then fed into the
-calibrated component-level energy model.
+*measured* by running the trained functional pipeline — through the
+``repro.api`` front door, whose ``RunResult`` also carries the engine's
+measured wall-clock stage shares — then fed into the calibrated
+component-level energy model, so modeled joules and measured seconds
+print side by side.
 """
 
-from _helpers import bench_pipeline_config, once
-from repro.core import BlissCamPipeline, PaperComparison, Table
+from _helpers import bench_evaluate_spec, once
+from repro.api import ExperimentSpec, Session, stage_timing_table
+from repro.core import PaperComparison, Table
 from repro.hardware import SystemEnergyModel, VARIANTS, WorkloadProfile
 
 FPS = 120.0
@@ -23,21 +27,24 @@ def run_fig13():
     # measured fractions are reported alongside.  At CI scale (64x64,
     # patch 8) the eye covers a larger frame fraction, so the measured
     # fractions are honest but not the paper's operating point.
-    pipeline = BlissCamPipeline(bench_pipeline_config(fps=FPS))
-    pipeline.train()
-    evaluation = pipeline.evaluate()
-    measured = evaluation.stats.to_profile(WorkloadProfile())
+    with Session() as session:
+        run_result = session.run(
+            ExperimentSpec.from_dict(bench_evaluate_spec(fps=FPS))
+        )
+    measured = WorkloadProfile(**run_result.workload_profile)
     model = SystemEnergyModel()
     paper_profile = WorkloadProfile()
     breakdowns = {v: model.frame_energy(v, paper_profile, FPS) for v in VARIANTS}
     measured_totals = {
         v: model.frame_energy(v, measured, FPS).total for v in VARIANTS
     }
-    return measured, breakdowns, measured_totals
+    return measured, breakdowns, measured_totals, run_result.stage_timings
 
 
 def test_fig13_energy(benchmark):
-    profile, breakdowns, measured_totals = once(benchmark, run_fig13)
+    profile, breakdowns, measured_totals, stage_timings = once(
+        benchmark, run_fig13
+    )
 
     components = sorted({k for b in breakdowns.values() for k in b.components})
     table = Table(
@@ -95,6 +102,17 @@ def test_fig13_energy(benchmark):
         round(measured_totals["NPU-Full"] / measured_totals["BlissCam"], 2),
     )
     print(cmp.render())
+
+    # The modeled joules above attribute energy per stage; this is the
+    # *measured* wall-clock share of the same evaluation run (engine
+    # stage timings, routed through RunResult).
+    print()
+    print(
+        stage_timing_table(
+            stage_timings,
+            title="measured engine wall-clock shares (same run)",
+        ).render()
+    )
 
     assert full > snpu > roi > bliss
     assert 3.0 < full / bliss < 8.0

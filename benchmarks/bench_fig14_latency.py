@@ -6,8 +6,9 @@ latency is similar to S+NPU/NPU-ROI because exposure dominates all three;
 the in-sensor stages shrink exposure by only ~1.8 %.
 """
 
-from _helpers import bench_pipeline_config, once
-from repro.core import BlissCamPipeline, PaperComparison, Table
+from _helpers import bench_evaluate_spec, once
+from repro.api import ExperimentSpec, Session, stage_timing_table
+from repro.core import PaperComparison, Table
 from repro.hardware import TimingModel, VARIANTS, WorkloadProfile
 
 FPS = 120.0
@@ -15,11 +16,13 @@ FPS = 120.0
 
 def run_fig14():
     # As in Fig. 13: headline latencies at the paper-scale workload
-    # profile, with the CI pipeline's measured fractions reported too.
-    pipeline = BlissCamPipeline(bench_pipeline_config(fps=FPS))
-    pipeline.train()
-    evaluation = pipeline.evaluate()
-    measured = evaluation.stats.to_profile(WorkloadProfile())
+    # profile, with the CI pipeline's measured fractions (and the
+    # engine's measured stage timings, via RunResult) reported too.
+    with Session() as session:
+        run_result = session.run(
+            ExperimentSpec.from_dict(bench_evaluate_spec(fps=FPS))
+        )
+    measured = WorkloadProfile(**run_result.workload_profile)
     profile = WorkloadProfile()
     timing = TimingModel()
     latencies = {v: timing.tracking_latency(v, profile, FPS) for v in VARIANTS}
@@ -29,12 +32,12 @@ def run_fig14():
         timing.tracking_latency("NPU-Full", measured, FPS).total
         / timing.tracking_latency("BlissCam", measured, FPS).total
     )
-    return latencies, reduction, feasible, measured_ratio
+    return latencies, reduction, feasible, measured_ratio, run_result.stage_timings
 
 
 def test_fig14_latency(benchmark):
-    latencies, exposure_reduction, feasible, measured_ratio = once(
-        benchmark, run_fig14
+    latencies, exposure_reduction, feasible, measured_ratio, stage_timings = (
+        once(benchmark, run_fig14)
     )
 
     stages = sorted({k for lat in latencies.values() for k in lat.stages})
@@ -75,6 +78,16 @@ def test_fig14_latency(benchmark):
         round(measured_ratio, 2),
     )
     print(cmp.render())
+
+    # Modeled milliseconds above; measured engine wall-clock shares of
+    # the same evaluation run below (stage timings via RunResult).
+    print()
+    print(
+        stage_timing_table(
+            stage_timings,
+            title="measured engine wall-clock shares (same run)",
+        ).render()
+    )
 
     assert full / bliss > 1.2
     assert all(feasible.values())

@@ -2,20 +2,26 @@
 
 Three sweeps a sensor architect would run before committing silicon:
 
-1. **Frame-rate sweep** — energy per frame and per second for all four
-   variants from 30 to 500 FPS, with the feasibility check of the Fig. 8
-   schedule (NPU-Full stops keeping up when segmentation no longer fits a
+1. **Frame-rate sweep** — the declarative ``fps_sweep`` workload (plus
+   per-variant energies and the Fig. 8 feasibility check of the timing
+   model: NPU-Full stops keeping up when segmentation no longer fits a
    frame period).
 2. **Resolution sweep** — BlissCam's advantage grows with resolution
    because readout + MIPI scale with pixels while its sampled fraction
    stays constant; this is where the paper's "up to 8.2x" headline lives.
-3. **Process-node grid** — Fig. 17 at finer granularity.
+3. **Process-node grid** — the ``node_sweep`` workload (Fig. 17), plus a
+   finer-grained grid straight from the model.
+
+Sweeps 1 and 3 run through ``repro.api`` — the same specs the CLI's
+``sweep-fps`` / ``sweep-node`` subcommands build — so their numbers are
+the front door's numbers; the custom sweeps query the models directly.
 
 Run:  python examples/hardware_design_space.py
 """
 
 from dataclasses import replace
 
+from repro.api import ExperimentSpec, Session
 from repro.core import Table
 from repro.hardware import (
     ProcessNodes,
@@ -26,7 +32,19 @@ from repro.hardware import (
 )
 
 
-def frame_rate_sweep() -> None:
+def frame_rate_sweep(session: Session) -> None:
+    # A denser sweep than the Fig. 16 default points, so the table shows
+    # where NPU-Full stops sustaining the frame rate.
+    result = session.run(
+        ExperimentSpec.from_dict(
+            {
+                "workload": "fps_sweep",
+                "execution": {
+                    "fps_sweep_points": [30, 60, 90, 120, 240, 360, 500]
+                },
+            }
+        )
+    )
     model = SystemEnergyModel()
     timing = TimingModel()
     profile = WorkloadProfile()
@@ -36,12 +54,15 @@ def frame_rate_sweep() -> None:
         + ["BlissCam saving", "NPU-Full sustains?"],
         title="1. Frame-rate sweep (energy per frame)",
     )
-    for fps in (30, 60, 90, 120, 240, 360, 500):
-        energies = {v: model.frame_energy(v, profile, fps).total for v in VARIANTS}
+    for fps_key, saving in result.metrics["savings_by_fps"].items():
+        fps = float(fps_key)
+        energies = {
+            v: model.frame_energy(v, profile, fps).total for v in VARIANTS
+        }
         table.add_row(
-            fps,
+            int(fps),
             *(round(energies[v] * 1e6, 1) for v in VARIANTS),
-            f"{energies['NPU-Full'] / energies['BlissCam']:.2f}x",
+            f"{saving:.2f}x",
             str(timing.schedule_feasible("NPU-Full", profile, fps)),
         )
     print(table.render())
@@ -82,14 +103,20 @@ def resolution_sweep() -> None:
     print()
 
 
-def node_grid() -> None:
+def node_grid(session: Session) -> None:
+    # The Fig. 17 grid through the front door...
+    result = session.run(ExperimentSpec.from_dict({"workload": "node_sweep"}))
+    print("3. " + result.tables[0].render())
+    print()
+
+    # ...and a finer-grained grid straight from the model.
     model = SystemEnergyModel()
     profile = WorkloadProfile()
     logic_nodes = (16, 22, 28, 40, 65)
     soc_nodes = (7, 16, 22)
     table = Table(
         ["logic \\ SoC"] + [f"{soc} nm" for soc in soc_nodes],
-        title="3. BlissCam saving across process-node combinations",
+        title="   finer grid (BlissCam saving)",
     )
     for logic in logic_nodes:
         row = []
@@ -102,9 +129,10 @@ def node_grid() -> None:
 
 def main() -> None:
     print("=== BlissCam hardware design-space exploration ===\n")
-    frame_rate_sweep()
-    resolution_sweep()
-    node_grid()
+    with Session() as session:
+        frame_rate_sweep(session)
+        resolution_sweep()
+        node_grid(session)
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ latency ~1.4x with little accuracy loss.
 
 Subpackages
 -----------
+``repro.api``           declarative front door: ExperimentSpec -> Session.run
 ``repro.nn``            from-scratch numpy DNN framework (PyTorch substitute)
 ``repro.synth``         synthetic near-eye dataset (OpenEDS substitute)
 ``repro.sampling``      eventification, ROI prediction, sampling strategies
@@ -19,11 +20,13 @@ Subpackages
 
 Quickstart
 ----------
->>> from repro.core import BlissCamPipeline, ci
->>> pipeline = BlissCamPipeline(ci())
->>> pipeline.train()                      # joint training, CI scale
->>> result = pipeline.evaluate()
->>> result.horizontal.mean                # degrees
+>>> from repro.api import ExperimentSpec, Session
+>>> with Session() as session:
+...     result = session.run(ExperimentSpec())   # evaluate @ CI scale
+>>> result.metrics["horizontal"]["mean"]         # degrees
+
+(The imperative surface remains: ``BlissCamPipeline(ci())`` /
+``.train()`` / ``.evaluate()`` — see ``docs/api.md``.)
 """
 
 __version__ = "1.0.0"

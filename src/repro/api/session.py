@@ -1,0 +1,204 @@
+"""The persistent experiment runtime behind ``Session.run(spec)``.
+
+A :class:`Session` owns the expensive, reusable state that the ad-hoc
+entry points used to rebuild per call:
+
+* **one persistent worker pool** (:func:`repro.engine.shard_executor`),
+  created on first sharded run and reused by every subsequent run — with
+  shard work stealing for unequal sequence lengths — instead of the
+  historical fork-a-pool-per-``run()`` in ``engine/runner.py``;
+* **memoized trained pipelines** keyed by the spec's training-relevant
+  section hash, so two specs that differ only in execution mode share
+  one joint training (and the sensor templates cached inside it);
+* **memoized per-strategy training** for Fig. 15 sweeps, including the
+  post-training RNG state so a cache hit replays evaluation
+  bitwise-identically.
+
+``Session.run`` validates the spec, dispatches to the registered
+workload, and stamps provenance (spec hash, seed, workers, git describe,
+the full spec) onto the returned :class:`~repro.api.result.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from dataclasses import replace
+
+from repro.api.result import RunResult, git_describe
+from repro.api.spec import ExperimentSpec, SpecError
+from repro.core import BlissCamPipeline, ci, paper
+from repro.engine import shard_executor
+from repro.synth import GazeDynamicsConfig
+
+__all__ = ["Session", "system_config", "LIVELY_DYNAMICS"]
+
+#: The ``dataset.dynamics == "lively"`` preset: short fixations +
+#: pursuits + large saccades, so short sequences still contain motion
+#: (and adaptive strategies have events to gate on).  The benchmark
+#: harness's ``BENCH_DYNAMICS`` is this same object.
+LIVELY_DYNAMICS = GazeDynamicsConfig(
+    fixation_mean_s=0.03,
+    pursuit_prob=0.3,
+    saccade_amplitude=(5.0, 20.0),
+)
+
+
+def system_config(spec: ExperimentSpec):
+    """The :class:`~repro.core.config.SystemConfig` a spec describes.
+
+    ``None`` dataset fields keep the preset's value — ``preset:
+    "paper"`` alone is the faithful Sec. V geometry (32 x 60 at
+    640x400), with any explicitly-set field overriding it.
+    """
+    d = spec.dataset
+    base = ci(seed=d.seed) if d.preset == "ci" else paper(seed=d.seed)
+    dataset = replace(base.dataset, fps=d.fps)
+    if d.num_sequences is not None:
+        dataset = replace(dataset, num_sequences=d.num_sequences)
+    if d.frames_per_sequence is not None:
+        dataset = replace(dataset, frames_per_sequence=d.frames_per_sequence)
+    if d.eye_scale is not None:
+        dataset = replace(dataset, eye_scale=d.eye_scale)
+    if d.dynamics == "lively":
+        dataset = replace(dataset, dynamics=LIVELY_DYNAMICS)
+    if d.blink_rate_hz is not None:
+        dataset = replace(
+            dataset,
+            dynamics=replace(dataset.dynamics, blink_rate_hz=d.blink_rate_hz),
+        )
+    config = replace(
+        base,
+        dataset=dataset,
+        compression=spec.sensor.compression,
+        roi_margin_px=spec.sensor.roi_margin_px,
+    )
+    if spec.training.epochs is not None:
+        config = replace(
+            config, joint=replace(config.joint, epochs=spec.training.epochs)
+        )
+    return config
+
+
+class Session:
+    """A reusable runtime: ``run()`` as many specs as you like, cheaply.
+
+    Usable as a context manager; :meth:`close` shuts the worker pool
+    down.  All caches are per-session — two sessions share nothing.
+    """
+
+    def __init__(self):
+        self._executor = None
+        self._executor_workers = 0
+        self._memo: dict[Any, Any] = {}
+        #: Observability counters: how often the session saved work.
+        self.stats = {
+            "runs": 0,
+            "train_cache_hits": 0,
+            "train_cache_misses": 0,
+            "pools_created": 0,
+        }
+
+    # -- persistent pool -----------------------------------------------------
+    def executor(self, workers: int):
+        """The session pool, grown to at least ``workers``; ``None`` for
+        in-process runs.  Grow-only: asking for fewer workers than the
+        current pool has reuses the bigger pool (idle workers are cheap,
+        re-forking is the cost this session exists to amortize)."""
+        if workers < 2:
+            return None
+        if self._executor is None or workers > self._executor_workers:
+            if self._executor is not None:
+                self._executor.shutdown()
+            self._executor = shard_executor(workers)
+            self._executor_workers = workers
+            self.stats["pools_created"] += 1
+        return self._executor
+
+    @property
+    def pool_workers(self) -> int:
+        """Current size of the persistent pool (0 = no pool yet).  May
+        exceed what the last run asked for — the pool is grow-only —
+        which matters when interpreting timing comparisons."""
+        return self._executor_workers
+
+    # -- memoized training ---------------------------------------------------
+    def memo(
+        self, key: Any, factory: Callable[[], Any], *, training: bool = True
+    ) -> Any:
+        """Session-lifetime memoization of expensive work.
+
+        ``training=False`` keeps the access out of the
+        ``train_cache_hits``/``train_cache_misses`` counters — those
+        count *trainings saved*, not every cached object (datasets,
+        templates)."""
+        if key in self._memo:
+            if training:
+                self.stats["train_cache_hits"] += 1
+        else:
+            if training:
+                self.stats["train_cache_misses"] += 1
+            self._memo[key] = factory()
+        return self._memo[key]
+
+    def pipeline(self, spec: ExperimentSpec) -> BlissCamPipeline:
+        """A *trained* pipeline for the spec, memoized by its
+        training-relevant inputs: the dataset and training sections plus
+        the sensor fields baked into ``SystemConfig`` (compression, ROI
+        margin).  Eval-time knobs (``sensor_seed``, ``reuse_window``,
+        the whole execution section) deliberately stay out of the key —
+        specs differing only in those share one joint training and the
+        calibrated sensor templates cached inside the pipeline."""
+        key = (
+            "pipeline",
+            spec.section_hash("dataset", "training"),
+            spec.sensor.compression,
+            spec.sensor.roi_margin_px,
+        )
+
+        def _train() -> BlissCamPipeline:
+            pipeline = BlissCamPipeline(system_config(spec))
+            indices = spec.training.train_indices
+            pipeline.train(list(indices) if indices is not None else None)
+            return pipeline
+
+        return self.memo(key, _train)
+
+    # -- the front door ------------------------------------------------------
+    def run(self, spec: ExperimentSpec | dict) -> RunResult:
+        """Validate ``spec``, execute its workload, stamp provenance."""
+        from repro.api.registry import WORKLOADS
+
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        elif isinstance(spec, ExperimentSpec):
+            spec.validate()
+        else:
+            raise SpecError(
+                "<root>", f"expected ExperimentSpec or dict, got {type(spec)!r}"
+            )
+        workload = WORKLOADS.get(spec.workload)
+        result = workload(self, spec)
+        result.provenance = {
+            "spec_hash": spec.spec_hash(),
+            "seed": spec.dataset.seed,
+            "workers": spec.execution.workers,
+            "git": git_describe(),
+            "spec": spec.to_dict(),
+            **result.provenance,
+        }
+        self.stats["runs"] += 1
+        return result
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,375 @@
+"""The built-in workload kinds: every reachable experiment, by name.
+
+Each workload is ``(session, spec) -> RunResult`` and is registered
+under the spec string it answers to.  Accuracy workloads run the shared
+:mod:`repro.engine` stage runtime through the session's memoized
+pipelines and persistent pool; hardware workloads query the calibrated
+energy/latency/area/power models.  All of them delegate to the same
+functions the legacy entry points use (``pipeline.evaluate``,
+``evaluate_strategy``, ``measure_throughput``), so their metrics are
+bitwise-identical to the pre-API surfaces — the parity tests pin this.
+"""
+
+from __future__ import annotations
+
+import copy
+import zlib
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.api.registry import STRATEGIES, register_workload
+from repro.api.result import RunResult, stage_timing_table
+from repro.api.session import Session, system_config
+from repro.api.spec import ExperimentSpec
+from repro.core import Table
+from repro.core.throughput import measure_throughput, throughput_tables
+from repro.core.variants import evaluate_strategy, train_for_strategy
+from repro.hardware import (
+    AreaModel,
+    ProcessNodes,
+    SystemEnergyModel,
+    TimingModel,
+    VARIANTS,
+    WorkloadProfile,
+)
+from repro.hardware.power_budget import HeadsetBudget
+
+__all__ = ["strategy_rng"]
+
+
+def _split_indices(spec: ExperimentSpec, dataset):
+    """Training/evaluation sequence indices: explicit or ``split()``."""
+    train_idx, eval_idx = dataset.split()
+    if spec.training.train_indices is not None:
+        train_idx = list(spec.training.train_indices)
+    if spec.execution.eval_indices is not None:
+        eval_idx = list(spec.execution.eval_indices)
+    return train_idx, eval_idx
+
+
+def _sharding(session: Session, spec: ExperimentSpec):
+    """(workers, executor) for the engine: the session pool when sharded."""
+    workers = spec.execution.workers
+    if workers < 2:
+        return None, None
+    return workers, session.executor(workers)
+
+
+def strategy_rng(base_seed: int, name: str) -> np.random.Generator:
+    """The per-strategy RNG stream of the ``strategy_sweep`` workload.
+
+    Keyed by (sweep seed, CRC32 of the strategy name): stable across
+    processes and across sweep subsets, so evaluating one strategy draws
+    the same stream as evaluating it inside the full zoo.
+    """
+    return np.random.default_rng([base_seed, zlib.crc32(name.encode())])
+
+
+# -- accuracy workloads ------------------------------------------------------
+@register_workload("evaluate")
+def run_evaluate(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Train (memoized) + evaluate the end-to-end tracker."""
+    pipeline = session.pipeline(spec)
+    workers, executor = _sharding(session, spec)
+    e = spec.execution
+    result = pipeline.evaluate(
+        list(e.eval_indices) if e.eval_indices is not None else None,
+        reuse_window=spec.sensor.reuse_window,
+        sensor_seed=spec.sensor.sensor_seed,
+        batched=e.batched,
+        batch_size=e.batch_size,
+        workers=workers,
+        executor=executor,
+    )
+    metrics = {
+        "frames": result.horizontal.count,
+        "horizontal": asdict(result.horizontal),
+        "vertical": asdict(result.vertical),
+        "mean_compression": result.stats.mean_compression,
+        "mean_roi_fraction": result.stats.mean_roi_fraction,
+        "mean_sampled_fraction": result.stats.mean_sampled_fraction,
+        "mean_valid_token_fraction": result.stats.mean_valid_token_fraction,
+        "mean_roi_iou": result.stats.mean_roi_iou,
+        "mean_transmitted_bytes": float(
+            np.mean(result.stats.transmitted_bytes)
+        ),
+        "within_one_degree": result.within_one_degree,
+    }
+    table = Table(["metric", "value"], title="evaluation results")
+    table.add_row("horizontal error (deg)", round(result.horizontal.mean, 2))
+    table.add_row("vertical error (deg)", round(result.vertical.mean, 2))
+    table.add_row("compression (x)", round(result.stats.mean_compression, 1))
+    table.add_row("ROI IoU", round(result.stats.mean_roi_iou, 2))
+    timings = RunResult.timings_to_dict(result.stage_timings)
+    return RunResult(
+        workload="evaluate",
+        metrics=metrics,
+        stage_timings=timings,
+        workload_profile=asdict(result.stats.to_profile()),
+        tables=[table, stage_timing_table(timings)],
+    )
+
+
+@register_workload("strategy_sweep")
+def run_strategy_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Fig. 15: train a segmenter per sampling strategy, measure gaze error."""
+    from repro.sampling import STRATEGY_NAMES
+    from repro.segmentation import ViTSegmenter
+    from repro.synth import SyntheticEyeDataset
+
+    st = spec.strategy
+    config = system_config(spec)
+    names = list(st.names) if st.names else list(STRATEGY_NAMES)
+
+    def _dataset():
+        return SyntheticEyeDataset(config.dataset)
+
+    dataset = session.memo(
+        ("dataset", spec.section_hash("dataset")), _dataset, training=False
+    )
+    train_idx, eval_idx = _split_indices(spec, dataset)
+    workers, executor = _sharding(session, spec)
+
+    per_strategy = {}
+    table = Table(
+        ["strategy", "horz err (deg)", "vert err (deg)", "compression"],
+        title=f"strategy sweep @ {st.compression:g}x target",
+    )
+    for name in names:
+        # Only training-relevant inputs key the cache: which other names
+        # are in the sweep (and the eval-only use_gt_roi flag) must not
+        # force a retrain — strategy_rng is name-keyed precisely so
+        # subsets and the full zoo share streams.
+        key = (
+            "strategy_training",
+            spec.section_hash("dataset"),
+            st.compression,
+            st.train_epochs,
+            st.seed,
+            tuple(train_idx),
+            name,
+        )
+
+        def _train(name: str = name):
+            rng = strategy_rng(st.seed, name)
+            strategy = STRATEGIES.get(name)(st.compression, dataset)
+            segmenter = ViTSegmenter(config.vit, rng)
+            train_for_strategy(
+                segmenter, strategy, dataset, train_idx, st.train_epochs, rng
+            )
+            return strategy, segmenter, rng
+
+        strategy, segmenter, rng = session.memo(key, _train)
+        evaluation = evaluate_strategy(
+            strategy,
+            segmenter,
+            dataset,
+            eval_idx,
+            # Deep-copy the post-training RNG state: the cached generator
+            # stays pristine, so a cache-hit re-run replays bitwise.
+            copy.deepcopy(rng),
+            batched=spec.execution.batched,
+            batch_size=spec.execution.batch_size,
+            workers=workers,
+            executor=executor,
+            use_gt_roi=st.use_gt_roi,
+        )
+        per_strategy[name] = {
+            "horizontal": asdict(evaluation.horizontal),
+            "vertical": asdict(evaluation.vertical),
+            "mean_compression": evaluation.mean_compression,
+            "frames": evaluation.frames,
+        }
+        table.add_row(
+            name,
+            round(evaluation.horizontal.mean, 2),
+            round(evaluation.vertical.mean, 2),
+            round(evaluation.mean_compression, 1),
+        )
+    metrics = {
+        "compression_target": st.compression,
+        "strategies": per_strategy,
+    }
+    return RunResult(
+        workload="strategy_sweep", metrics=metrics, tables=[table]
+    )
+
+
+@register_workload("throughput")
+def run_throughput(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Engine frames/sec: sequential vs batched vs sharded modes."""
+    pipeline = session.pipeline(spec)
+    workers, executor = _sharding(session, spec)
+    _, eval_idx = _split_indices(spec, pipeline.dataset)
+    record = measure_throughput(
+        pipeline,
+        eval_idx,
+        repeats=spec.execution.repeats,
+        workers=workers,
+        executor=executor,
+    )
+    if executor is not None:
+        # The session pool is grow-only: a previous run may have left it
+        # larger than this spec's `workers`, in which case the
+        # persistent-mode timing had more parallelism than the per-call
+        # baseline.  Record the actual pool size so pool_reuse_speedup
+        # is interpretable.
+        record["pool_workers"] = session.pool_workers
+    return RunResult(
+        workload="throughput",
+        metrics=record,
+        tables=throughput_tables(record),
+    )
+
+
+# -- hardware-model workloads ------------------------------------------------
+@register_workload("energy")
+def run_energy(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Fig. 13 operating point: per-frame energy of the four variants."""
+    fps = spec.execution.fps
+    model = SystemEnergyModel()
+    profile = WorkloadProfile()
+    table = Table(
+        ["variant", "total (uJ/frame)", "saving vs NPU-Full"],
+        title=f"energy @ {fps:g} FPS",
+    )
+    full = model.frame_energy("NPU-Full", profile, fps).total
+    metrics = {"fps": fps, "variants": {}}
+    for variant in VARIANTS:
+        total = model.frame_energy(variant, profile, fps).total
+        metrics["variants"][variant] = {
+            "joules_per_frame": total,
+            "saving_vs_npu_full": full / total,
+        }
+        table.add_row(variant, round(total * 1e6, 1), f"{full / total:.2f}x")
+    return RunResult(
+        workload="energy",
+        metrics=metrics,
+        workload_profile=asdict(profile),
+        tables=[table],
+    )
+
+
+@register_workload("latency")
+def run_latency(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Fig. 14 operating point: tracking latency of the four variants."""
+    fps = spec.execution.fps
+    timing = TimingModel()
+    profile = WorkloadProfile()
+    table = Table(
+        ["variant", "latency (ms)", "sustains rate"],
+        title=f"tracking latency @ {fps:g} FPS",
+    )
+    metrics = {"fps": fps, "variants": {}}
+    for variant in VARIANTS:
+        lat = timing.tracking_latency(variant, profile, fps)
+        feasible = timing.schedule_feasible(variant, profile, fps)
+        metrics["variants"][variant] = {
+            "latency_s": lat.total,
+            "sustains_rate": feasible,
+        }
+        table.add_row(variant, round(lat.total * 1e3, 2), str(feasible))
+    return RunResult(
+        workload="latency",
+        metrics=metrics,
+        workload_profile=asdict(profile),
+        tables=[table],
+    )
+
+
+@register_workload("area")
+def run_area(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Sec. VI-D: area estimate of the paper's 640x400 sensor."""
+    report = AreaModel().estimate(400, 640)
+    metrics = {
+        "pixel_array_mm2": report.pixel_array_mm2,
+        "in_sensor_npu_mm2": report.in_sensor_npu_mm2,
+        "output_buffer_mm2": report.output_buffer_mm2,
+        "total_mm2": report.total_mm2,
+    }
+    table = Table(["component", "mm^2"], title="area (640x400, 5 um pitch)")
+    table.add_row("pixel array", round(report.pixel_array_mm2, 2))
+    table.add_row("in-sensor NPU", report.in_sensor_npu_mm2)
+    table.add_row("output buffer + RLE", report.output_buffer_mm2)
+    table.add_row("TOTAL", round(report.total_mm2, 2))
+    return RunResult(workload="area", metrics=metrics, tables=[table])
+
+
+@register_workload("power")
+def run_power(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Headset power budget of the four variants."""
+    fps = spec.execution.fps
+    budget = HeadsetBudget()
+    table = Table(
+        ["variant", "power (mW, 2 eyes)", "budget share"],
+        title=f"headset budget @ {fps:g} FPS",
+    )
+    metrics = {"fps": fps, "variants": {}}
+    for variant in VARIANTS:
+        report = budget.report(variant, fps)
+        metrics["variants"][variant] = {
+            "power_w": report.power_w,
+            "budget_fraction": report.budget_fraction,
+        }
+        table.add_row(
+            variant,
+            round(report.power_w * 1e3, 1),
+            f"{report.budget_fraction:.1%}",
+        )
+    return RunResult(workload="power", metrics=metrics, tables=[table])
+
+
+#: The Fig. 16 operating points.
+FPS_SWEEP_DEFAULT = (30.0, 60.0, 120.0, 240.0, 500.0)
+
+
+@register_workload("fps_sweep")
+def run_fps_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Fig. 16: BlissCam's energy saving vs frame rate."""
+    model = SystemEnergyModel()
+    profile = WorkloadProfile()
+    points = spec.execution.fps_sweep_points or FPS_SWEEP_DEFAULT
+    table = Table(["FPS", "BlissCam saving"], title="saving vs frame rate")
+    savings = {}
+    for fps in points:
+        saving = model.savings_over("NPU-Full", "BlissCam", profile, fps)
+        savings[f"{fps:g}"] = saving
+        table.add_row(f"{fps:g}", f"{saving:.2f}x")
+    return RunResult(
+        workload="fps_sweep",
+        metrics={"savings_by_fps": savings},
+        tables=[table],
+    )
+
+
+@register_workload("node_sweep")
+def run_node_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Fig. 17: BlissCam's energy saving vs process nodes."""
+    fps = spec.execution.fps
+    base = SystemEnergyModel()
+    profile = WorkloadProfile()
+    table = Table(
+        ["logic node", "7 nm SoC", "22 nm SoC"], title="saving vs process node"
+    )
+    savings = {}
+    for logic in (16, 22, 40, 65):
+        row = {}
+        for soc in (7, 22):
+            model = base.with_nodes(
+                ProcessNodes(sensor_logic_nm=logic, host_nm=soc)
+            )
+            row[f"soc_{soc}nm"] = model.savings_over(
+                "NPU-Full", "BlissCam", profile, fps
+            )
+        savings[f"{logic}nm"] = row
+        table.add_row(
+            f"{logic} nm",
+            f"{row['soc_7nm']:.2f}x",
+            f"{row['soc_22nm']:.2f}x",
+        )
+    return RunResult(
+        workload="node_sweep",
+        metrics={"fps": fps, "savings_by_node": savings},
+        tables=[table],
+    )

@@ -2,6 +2,7 @@
 
 Commands
 --------
+``run``          execute a declarative experiment spec (JSON file)
 ``quickstart``   train + evaluate the end-to-end pipeline (CI scale)
 ``throughput``   staged-engine frames/sec: sequential vs batched lockstep
                  (``--workers N`` also times the sharded multi-process mode)
@@ -12,8 +13,17 @@ Commands
 ``sweep-fps``    energy saving vs frame rate
 ``sweep-node``   energy saving vs process nodes
 
-All hardware commands accept ``--fps`` (default 120).  The accuracy
-commands run on the shared :mod:`repro.engine` stage runtime.
+Every subcommand is a thin *spec builder*: it assembles an
+:class:`~repro.api.ExperimentSpec` and hands it to one
+:class:`~repro.api.Session` — the same front door ``repro run
+<spec.json>`` exposes directly, and the same code path the benchmarks
+and examples use.  ``--json <path>`` writes the uniform
+:class:`~repro.api.RunResult` serialization; all hardware commands
+accept ``--fps`` (default 120).
+
+Exit codes: 0 success, 2 spec-validation error (1 is reserved for
+workload-reported failures, e.g. a bitwise-equivalence miss in
+``throughput``).
 """
 
 from __future__ import annotations
@@ -21,154 +31,57 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import BlissCamPipeline, Table, ci
-from repro.hardware import (
-    AreaModel,
-    ProcessNodes,
-    SystemEnergyModel,
-    TimingModel,
-    VARIANTS,
-    WorkloadProfile,
-)
-from repro.hardware.power_budget import HeadsetBudget
+from repro.api import ExperimentSpec, Session, SpecError
 
 __all__ = ["main"]
 
 
-def _cmd_quickstart(args: argparse.Namespace) -> int:
-    pipeline = BlissCamPipeline(ci())
-    print("training...")
-    pipeline.train()
-    result = pipeline.evaluate()
-    table = Table(["metric", "value"], title="quickstart results")
-    table.add_row("horizontal error (deg)", round(result.horizontal.mean, 2))
-    table.add_row("vertical error (deg)", round(result.vertical.mean, 2))
-    table.add_row("compression (x)", round(result.stats.mean_compression, 1))
-    table.add_row("ROI IoU", round(result.stats.mean_roi_iou, 2))
-    print(table.render())
-    return 0
+def _spec_run(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec.from_file(args.spec)
 
 
-def _cmd_throughput(args: argparse.Namespace) -> int:
-    from repro.core.throughput import measure_throughput, throughput_tables
+def _spec_quickstart(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec.from_dict({"workload": "evaluate"})
 
-    pipeline = BlissCamPipeline(ci(num_sequences=10, frames_per_sequence=10))
-    print("training...")
-    pipeline.train([0, 1])
-    record = measure_throughput(
-        pipeline, list(range(2, 10)), repeats=1, workers=args.workers
+
+def _spec_throughput(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            "workload": "throughput",
+            "dataset": {"num_sequences": 10, "frames_per_sequence": 10},
+            "training": {"train_indices": [0, 1]},
+            "execution": {
+                "repeats": 1,
+                "eval_indices": list(range(2, 10)),
+            },
+        }
     )
-    for table in throughput_tables(record):
-        print(table.render())
-    modes = "batched/sharded" if "sharded_s" in record else "batched"
-    print(f"{modes} == sequential (bitwise): {record['bitwise_identical']}")
-    return 0 if record["bitwise_identical"] else 1
 
 
-def _cmd_energy(args: argparse.Namespace) -> int:
-    model = SystemEnergyModel()
-    profile = WorkloadProfile()
-    table = Table(
-        ["variant", "total (uJ/frame)", "saving vs NPU-Full"],
-        title=f"energy @ {args.fps:g} FPS",
-    )
-    full = model.frame_energy("NPU-Full", profile, args.fps).total
-    for variant in VARIANTS:
-        total = model.frame_energy(variant, profile, args.fps).total
-        table.add_row(variant, round(total * 1e6, 1), f"{full / total:.2f}x")
-    print(table.render())
-    return 0
-
-
-def _cmd_latency(args: argparse.Namespace) -> int:
-    timing = TimingModel()
-    profile = WorkloadProfile()
-    table = Table(
-        ["variant", "latency (ms)", "sustains rate"],
-        title=f"tracking latency @ {args.fps:g} FPS",
-    )
-    for variant in VARIANTS:
-        lat = timing.tracking_latency(variant, profile, args.fps)
-        table.add_row(
-            variant,
-            round(lat.total * 1e3, 2),
-            str(timing.schedule_feasible(variant, profile, args.fps)),
+def _hardware_spec(workload: str):
+    def build(args: argparse.Namespace) -> ExperimentSpec:
+        return ExperimentSpec.from_dict(
+            {"workload": workload, "execution": {"fps": args.fps}}
         )
-    print(table.render())
-    return 0
+
+    return build
 
 
-def _cmd_area(args: argparse.Namespace) -> int:
-    report = AreaModel().estimate(400, 640)
-    table = Table(["component", "mm^2"], title="area (640x400, 5 um pitch)")
-    table.add_row("pixel array", round(report.pixel_array_mm2, 2))
-    table.add_row("in-sensor NPU", report.in_sensor_npu_mm2)
-    table.add_row("output buffer + RLE", report.output_buffer_mm2)
-    table.add_row("TOTAL", round(report.total_mm2, 2))
-    print(table.render())
-    return 0
-
-
-def _cmd_power(args: argparse.Namespace) -> int:
-    budget = HeadsetBudget()
-    table = Table(
-        ["variant", "power (mW, 2 eyes)", "budget share"],
-        title=f"headset budget @ {args.fps:g} FPS",
-    )
-    for variant in VARIANTS:
-        report = budget.report(variant, args.fps)
-        table.add_row(
-            variant,
-            round(report.power_w * 1e3, 1),
-            f"{report.budget_fraction:.1%}",
-        )
-    print(table.render())
-    return 0
-
-
-def _cmd_sweep_fps(args: argparse.Namespace) -> int:
-    model = SystemEnergyModel()
-    profile = WorkloadProfile()
-    table = Table(["FPS", "BlissCam saving"], title="saving vs frame rate")
-    for fps in (30, 60, 120, 240, 500):
-        table.add_row(
-            fps,
-            f"{model.savings_over('NPU-Full', 'BlissCam', profile, fps):.2f}x",
-        )
-    print(table.render())
-    return 0
-
-
-def _cmd_sweep_node(args: argparse.Namespace) -> int:
-    base = SystemEnergyModel()
-    profile = WorkloadProfile()
-    table = Table(
-        ["logic node", "7 nm SoC", "22 nm SoC"], title="saving vs process node"
-    )
-    for logic in (16, 22, 40, 65):
-        row = []
-        for soc in (7, 22):
-            model = base.with_nodes(
-                ProcessNodes(sensor_logic_nm=logic, host_nm=soc)
-            )
-            row.append(
-                f"{model.savings_over('NPU-Full', 'BlissCam', profile, args.fps):.2f}x"
-            )
-        table.add_row(f"{logic} nm", *row)
-    print(table.render())
-    return 0
-
-
-_COMMANDS = {
-    "quickstart": _cmd_quickstart,
-    "throughput": _cmd_throughput,
-    "energy": _cmd_energy,
-    "latency": _cmd_latency,
-    "area": _cmd_area,
-    "power": _cmd_power,
-    "sweep-fps": _cmd_sweep_fps,
-    "sweep-node": _cmd_sweep_node,
+_SPEC_BUILDERS = {
+    "run": _spec_run,
+    "quickstart": _spec_quickstart,
+    "throughput": _spec_throughput,
+    "energy": _hardware_spec("energy"),
+    "latency": _hardware_spec("latency"),
+    "area": _hardware_spec("area"),
+    "power": _hardware_spec("power"),
+    "sweep-fps": _hardware_spec("fps_sweep"),
+    "sweep-node": _hardware_spec("node_sweep"),
 }
+
+#: Workloads that train a pipeline before producing output (announce it,
+#: or the terminal sits silent for the whole joint training).
+_TRAINING_WORKLOADS = {"evaluate", "strategy_sweep", "throughput"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,8 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="BlissCam reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in _COMMANDS:
+    for name in _SPEC_BUILDERS:
         cmd = sub.add_parser(name)
+        cmd.add_argument(
+            "--json",
+            metavar="PATH",
+            default=None,
+            help="write the RunResult (shared serializer) to this path",
+        )
+        if name == "run":
+            cmd.add_argument("spec", help="path to an ExperimentSpec JSON file")
+            cmd.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="override the spec's execution.workers",
+            )
+            continue
         cmd.add_argument("--fps", type=float, default=120.0)
         if name == "throughput":
             cmd.add_argument(
@@ -192,7 +120,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        spec = _SPEC_BUILDERS[args.command](args)
+        workers = getattr(args, "workers", None)
+        if workers:  # None or 0 keep the spec's value
+            # Re-validate: the override must fail here (exit 2), not as
+            # a traceback out of Session.run.
+            spec = spec.with_workers(workers).validate()
+    except (SpecError, OSError) as exc:
+        print(f"spec error: {exc}", file=sys.stderr)
+        return 2
+    with Session() as session:
+        if spec.workload in _TRAINING_WORKLOADS:
+            print("training...")
+        result = session.run(spec)
+    print(result.render_tables())
+    if args.json:
+        result.write_json(args.json)
+    if spec.workload == "throughput":
+        record = result.metrics
+        modes = "batched/sharded" if "sharded_s" in record else "batched"
+        print(f"{modes} == sequential (bitwise): {record['bitwise_identical']}")
+        return 0 if record["bitwise_identical"] else 1
+    return 0
 
 
 if __name__ == "__main__":

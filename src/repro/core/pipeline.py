@@ -205,6 +205,11 @@ class BlissCamPipeline:
         self.gaze_estimator.fit(np.concatenate(segs), np.concatenate(gazes))
         return self._train_result
 
+    @property
+    def train_result(self) -> JointTrainResult | None:
+        """The last joint-training result (``None`` before training)."""
+        return self._train_result
+
     def _typical_roi_fraction(self) -> float:
         """Mean ground-truth foreground-box fraction over the first sequence.
 
@@ -259,6 +264,7 @@ class BlissCamPipeline:
         batched: bool = False,
         batch_size: int | None = None,
         workers: int | None = None,
+        executor=None,
     ) -> EvaluationResult:
         """Run the functional sensor + host over held-out sequences.
 
@@ -266,7 +272,9 @@ class BlissCamPipeline:
         first-class engine stage).  ``batched`` runs the sequences in
         vectorized lockstep; ``batch_size`` bounds the lockstep width.
         ``workers >= 2`` shards the sequence rank over that many worker
-        processes (composable with ``batched``).  All modes produce
+        processes (composable with ``batched``); ``executor`` reuses an
+        existing pool (e.g. a persistent ``repro.api.Session`` pool)
+        instead of forking one per call.  All modes produce
         bitwise-identical results; see ``docs/architecture.md``.
         """
         if not self.gaze_estimator.is_fitted:
@@ -295,6 +303,7 @@ class BlissCamPipeline:
             [(i, self.dataset[i]) for i in eval_indices],
             batched=batched,
             workers=workers,
+            executor=executor,
         )
         return self._collect_evaluation(run)
 

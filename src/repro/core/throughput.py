@@ -48,6 +48,7 @@ def measure_throughput(
     eval_indices: list[int],
     repeats: int = 3,
     workers: int | None = None,
+    executor=None,
 ) -> dict:
     """Time the engine modes over ``eval_indices`` on a trained pipeline.
 
@@ -60,7 +61,10 @@ def measure_throughput(
 
     ``workers >= 2`` additionally times the sharded mode (sequential
     kernels inside each worker process) and cross-checks it bitwise
-    against the in-process runs.
+    against the in-process runs.  ``executor`` (a persistent pool, e.g.
+    ``repro.api.Session``'s) adds a fourth timed mode — sharded over the
+    *reused* pool with shard work stealing — so the record captures the
+    per-call-fork vs persistent-pool trajectory side by side.
     """
     if not eval_indices:
         raise ValueError(
@@ -119,6 +123,29 @@ def measure_throughput(
                 },
             }
         )
+        if executor is not None:
+            # Warm the pool's workers once so the timed section compares
+            # steady-state dispatch, not the first fork (exactly the cost
+            # the persistent pool exists to amortize across run() calls).
+            pipeline.evaluate(warm, workers=workers, executor=executor)
+            pers_s, pers_result = _best_of(
+                lambda: pipeline.evaluate(
+                    eval_indices, workers=workers, executor=executor
+                ),
+                repeats,
+            )
+            identical = identical and _same_results(seq_result, pers_result)
+            record.update(
+                {
+                    "sharded_persistent_s": pers_s,
+                    "sharded_persistent_fps": _rate(frames, pers_s),
+                    # Per-call-fork sharded time over persistent-pool
+                    # sharded time: the payoff of reusing one pool.
+                    "pool_reuse_speedup": (
+                        shard_s / pers_s if pers_s > 0 else float("inf")
+                    ),
+                }
+            )
     record["bitwise_identical"] = identical
     return record
 
@@ -157,6 +184,15 @@ def throughput_tables(record: dict) -> list[Table]:
             _fmt(record["sharded_s"] * 1e3),
         )
         fps.add_row("sharded speedup", f"{record['sharded_speedup']:.2f}x", "")
+    if "sharded_persistent_s" in record:
+        fps.add_row(
+            f"sharded x{record['workers']} (persistent pool)",
+            _fmt(record["sharded_persistent_fps"]),
+            _fmt(record["sharded_persistent_s"] * 1e3),
+        )
+        fps.add_row(
+            "pool reuse speedup", f"{record['pool_reuse_speedup']:.2f}x", ""
+        )
 
     # Sequential/batched columns are serial wall time; the sharded column
     # is CPU time *summed over concurrent workers* (shard timings add),

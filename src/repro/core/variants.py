@@ -16,18 +16,8 @@ import numpy as np
 from repro.gaze.estimation import FittedGazeEstimator
 from repro.gaze.metrics import AngularErrorStats, angular_errors
 from repro.sampling.eventification import eventify
-from repro.sampling.strategies import (
-    FullDownsample,
-    FullRandom,
-    ROIDownsample,
-    ROIFixed,
-    ROILearned,
-    ROIRandom,
-    SamplingStrategy,
-    SkipStrategy,
-)
+from repro.sampling.strategies import SamplingStrategy
 from repro.synth.dataset import SyntheticEyeDataset
-from repro.synth.eye_model import SEG_CLASSES
 from repro.training.loop import train_segmentation
 
 __all__ = [
@@ -54,30 +44,17 @@ def make_strategy(name: str, compression: float, dataset=None) -> SamplingStrate
     """Factory for the Fig. 15 strategy zoo by display name.
 
     ``ROIFixed`` needs dataset statistics; pass the training dataset.
+
+    A compatibility shim over the :mod:`repro.api` strategy registry —
+    the construction logic (including the ``ROI+Fixed`` mask fit) lives
+    with the built-in registrations, so registered third-party
+    strategies resolve here too.
     """
-    table = {
-        "Full+Random": lambda: FullRandom(compression),
-        "Full+DS": lambda: FullDownsample(compression),
-        "Skip": lambda: SkipStrategy(compression),
-        "ROI+DS": lambda: ROIDownsample(compression),
-        "ROI+Fixed": lambda: ROIFixed(compression),
-        "ROI+Learned": lambda: ROILearned(compression),
-        "Ours (ROI+Random)": lambda: ROIRandom(compression),
-    }
-    if name not in table:
-        raise ValueError(f"unknown strategy {name!r}; choose from {sorted(table)}")
-    strategy = table[name]()
-    if isinstance(strategy, ROIFixed):
-        if dataset is None:
-            raise ValueError("ROI+Fixed needs a dataset to fit its mask")
-        masks = np.concatenate(
-            [
-                (seq.segmentations != SEG_CLASSES["background"])
-                for seq in dataset
-            ]
-        )
-        strategy.fit(masks)
-    return strategy
+    # Lazy: core sits below the api layer; only this shim reaches up.
+    import repro.api.builtin  # noqa: F401  (populates the registry)
+    from repro.api.registry import STRATEGIES
+
+    return STRATEGIES.get(name)(compression, dataset)
 
 
 def _frame_decisions(
@@ -163,6 +140,8 @@ def evaluate_strategy(
     batched: bool = False,
     batch_size: int | None = None,
     workers: int | None = None,
+    executor=None,
+    use_gt_roi: bool = True,
 ) -> StrategyEvaluation:
     """Measure gaze error when the host sees ``strategy``-sampled frames.
 
@@ -190,6 +169,7 @@ def evaluate_strategy(
         segmenter=segmenter,
         gaze_estimator=gaze_estimator,
         rng=rng,
+        use_gt_roi=use_gt_roi,
     )
     # The collector below only needs gaze + stats scalars; drop the
     # O(frame size) intermediates as the run streams (and keep sharded
@@ -201,6 +181,7 @@ def evaluate_strategy(
         [(i, dataset[i]) for i in eval_indices],
         batched=batched,
         workers=workers,
+        executor=executor,
     )
 
     preds, truths, compressions = [], [], []

@@ -22,7 +22,12 @@ from repro.engine.graphs import (
     strategy_runner,
     tracking_runner,
 )
-from repro.engine.runner import EngineRun, SequenceRunner, StageTiming
+from repro.engine.runner import (
+    EngineRun,
+    SequenceRunner,
+    StageTiming,
+    shard_executor,
+)
 from repro.engine.stage import Stage, StageGraph
 from repro.engine.stages import (
     EventifyPairStage,
@@ -46,6 +51,7 @@ __all__ = [
     "SequenceRunner",
     "EngineRun",
     "StageTiming",
+    "shard_executor",
     "EventifyStage",
     "ROIPredictStage",
     "ROIReuseStage",

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -43,7 +43,13 @@ import numpy as np
 from repro.engine.context import FrameContext, SequenceState
 from repro.engine.stage import StageGraph
 
-__all__ = ["SequenceRunner", "EngineRun", "StageTiming"]
+__all__ = ["SequenceRunner", "EngineRun", "StageTiming", "shard_executor"]
+
+#: Shard oversubscription when an external (persistent) executor runs the
+#: shards: cutting the rank into ``workers * STEAL_FACTOR`` pieces lets an
+#: idle worker steal the next pending shard, so unequal sequence lengths
+#: no longer leave workers stalled behind one long contiguous shard.
+STEAL_FACTOR = 4
 
 
 @dataclass
@@ -109,6 +115,19 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-posix platforms
         return multiprocessing.get_context()
+
+
+def shard_executor(max_workers: int) -> ProcessPoolExecutor:
+    """A process pool suitable for sharded runs.
+
+    The canonical constructor for *persistent* pools (``repro.api``'s
+    :class:`Session` owns one and reuses it across runs); standalone
+    ``run(workers=N)`` calls without an injected executor still build a
+    throwaway pool per call from the same context.
+    """
+    return ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=_pool_context()
+    )
 
 
 class SequenceRunner:
@@ -178,6 +197,7 @@ class SequenceRunner:
         sequences: Sequence[tuple[int, Any]],
         batched: bool = False,
         workers: int | None = None,
+        executor: Executor | None = None,
     ) -> EngineRun:
         """Run the graph over ``[(seq_index, sequence), ...]``.
 
@@ -185,14 +205,30 @@ class SequenceRunner:
         processes; each shard runs the sequential or batched kernels
         (per ``batched``) and the merged result is bitwise-identical to
         the single-process modes.  ``None``/``1`` runs in-process.
+
+        ``executor`` injects an existing pool for the sharded mode instead
+        of forking a fresh one per call (the historical per-call cost):
+        a persistent :func:`shard_executor` — e.g. the one owned by
+        ``repro.api.Session`` — can then be shared across runs, tests and
+        benches.  With an injected executor the rank is cut into
+        ``workers * STEAL_FACTOR`` contiguous shards so idle workers
+        steal pending shards when sequence lengths are unequal; shard
+        boundaries never affect results, only scheduling.
         """
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
+        if executor is not None and (workers or 1) < 2:
+            raise ValueError(
+                "executor was injected but workers < 2 would run in-process "
+                "and silently ignore it; pass workers >= 2 to shard"
+            )
         sequences = list(sequences)
         n_workers = min(workers or 1, len(sequences))
         start = time.perf_counter()
         if n_workers >= 2:
-            contexts, timings = self._run_sharded(sequences, batched, n_workers)
+            contexts, timings = self._run_sharded(
+                sequences, batched, n_workers, executor
+            )
         else:
             n_workers = 1
             timings = {name: StageTiming() for name in self.graph.stage_names}
@@ -214,29 +250,44 @@ class SequenceRunner:
         sequences: list[tuple[int, Any]],
         batched: bool,
         workers: int,
+        executor: Executor | None = None,
     ) -> tuple[list[FrameContext], dict[str, StageTiming]]:
         # Contiguous balanced shards: concatenating shard outputs in shard
         # order reproduces the sequence-major ordering of the in-process
-        # modes exactly.
-        bounds = np.linspace(0, len(sequences), workers + 1).astype(int)
+        # modes exactly.  An injected executor gets an oversubscribed cut
+        # (work stealing); a throwaway pool gets one shard per worker.
+        n_shards = (
+            min(len(sequences), workers * STEAL_FACTOR) if executor else workers
+        )
+        bounds = np.linspace(0, len(sequences), n_shards + 1).astype(int)
         shards = [
             sequences[lo:hi]
             for lo, hi in zip(bounds[:-1], bounds[1:])
             if hi > lo
         ]
-        with ProcessPoolExecutor(
-            max_workers=len(shards), mp_context=_pool_context()
-        ) as pool:
-            # map() preserves shard order; sequences within a shard keep
-            # their relative order inside the worker.
-            results = list(
-                pool.map(
-                    _execute_shard,
-                    [self] * len(shards),
-                    shards,
-                    [batched] * len(shards),
+        if executor is not None:
+            # submit() preserves shard order through the futures list while
+            # letting the pool hand the next pending shard to whichever
+            # worker frees up first.
+            futures = [
+                executor.submit(_execute_shard, self, shard, batched)
+                for shard in shards
+            ]
+            results = [f.result() for f in futures]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=len(shards), mp_context=_pool_context()
+            ) as pool:
+                # map() preserves shard order; sequences within a shard keep
+                # their relative order inside the worker.
+                results = list(
+                    pool.map(
+                        _execute_shard,
+                        [self] * len(shards),
+                        shards,
+                        [batched] * len(shards),
+                    )
                 )
-            )
         contexts: list[FrameContext] = []
         timings: dict[str, StageTiming] = {
             name: StageTiming() for name in self.graph.stage_names

@@ -1,0 +1,200 @@
+"""Session runtime: memoized training, the persistent pool, provenance."""
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, Session, SpecError
+from repro.engine import SequenceRunner, Stage
+
+#: The cheapest spec that exercises training + evaluation.
+TINY = {
+    "workload": "evaluate",
+    "dataset": {"num_sequences": 3, "frames_per_sequence": 6},
+    "training": {"epochs": 1},
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_session():
+    with Session() as session:
+        session.run(ExperimentSpec.from_dict(TINY))
+        yield session
+
+
+class TestMemoization:
+    def test_second_run_does_not_retrain(self, tiny_session):
+        before = dict(tiny_session.stats)
+        result = tiny_session.run(ExperimentSpec.from_dict(TINY))
+        assert (
+            tiny_session.stats["train_cache_misses"]
+            == before["train_cache_misses"]
+        )
+        assert (
+            tiny_session.stats["train_cache_hits"]
+            == before["train_cache_hits"] + 1
+        )
+        assert result.metrics["frames"] > 0
+
+    def test_same_training_hash_shares_pipeline(self, tiny_session):
+        # A spec differing only in execution mode reuses the trained
+        # pipeline (training-relevant section hash is unchanged).
+        batched = ExperimentSpec.from_dict(
+            {**TINY, "execution": {"batched": True}}
+        )
+        before = tiny_session.stats["train_cache_misses"]
+        tiny_session.run(batched)
+        assert tiny_session.stats["train_cache_misses"] == before
+
+    def test_changed_training_section_retrains(self, tiny_session):
+        different = ExperimentSpec.from_dict(
+            {**TINY, "dataset": {**TINY["dataset"], "seed": 5}}
+        )
+        before = tiny_session.stats["train_cache_misses"]
+        tiny_session.run(different)
+        assert tiny_session.stats["train_cache_misses"] == before + 1
+
+    def test_repeat_runs_bitwise_identical(self, tiny_session):
+        spec = ExperimentSpec.from_dict(TINY)
+        a = tiny_session.run(spec)
+        b = tiny_session.run(spec)
+        assert a.metrics == b.metrics
+
+
+class TestSystemConfig:
+    def test_paper_preset_keeps_sec_v_geometry(self):
+        from repro.api.session import system_config
+        from repro.core import paper
+
+        spec = ExperimentSpec.from_dict({"dataset": {"preset": "paper"}})
+        config = system_config(spec)
+        reference = paper()
+        assert config.dataset.num_sequences == reference.dataset.num_sequences
+        assert (
+            config.dataset.frames_per_sequence
+            == reference.dataset.frames_per_sequence
+        )
+        assert config.joint.epochs == reference.joint.epochs
+        assert config.height == 400 and config.width == 640
+
+    def test_explicit_fields_override_paper_preset(self):
+        from repro.api.session import system_config
+
+        spec = ExperimentSpec.from_dict(
+            {"dataset": {"preset": "paper", "num_sequences": 2}}
+        )
+        config = system_config(spec)
+        assert config.dataset.num_sequences == 2
+        assert config.dataset.frames_per_sequence == 60  # preset kept
+
+    def test_blink_rate_override_composes_with_dynamics_preset(self):
+        from repro.api.session import LIVELY_DYNAMICS, system_config
+
+        spec = ExperimentSpec.from_dict(
+            {"dataset": {"dynamics": "lively", "blink_rate_hz": 2.0}}
+        )
+        dynamics = system_config(spec).dataset.dynamics
+        assert dynamics.blink_rate_hz == 2.0
+        assert dynamics.fixation_mean_s == LIVELY_DYNAMICS.fixation_mean_s
+
+    def test_eval_only_sensor_fields_do_not_retrain(self, tiny_session):
+        # sensor_seed and reuse_window are applied at evaluate() time;
+        # they must hit the training cache, not rebuild it.
+        before = tiny_session.stats["train_cache_misses"]
+        tiny_session.run(
+            ExperimentSpec.from_dict(
+                {**TINY, "sensor": {"sensor_seed": 77, "reuse_window": 2}}
+            )
+        )
+        assert tiny_session.stats["train_cache_misses"] == before
+
+
+class Probe(Stage):
+    name = "probe"
+
+    def process(self, ctx, seq):
+        ctx.gaze_pred = (float(ctx.seq_index), float(ctx.t))
+
+
+class Seq:
+    frames = np.zeros((3, 4, 4))
+
+
+class TestPersistentPool:
+    def test_no_pool_below_two_workers(self):
+        with Session() as session:
+            assert session.executor(1) is None
+            assert session.stats["pools_created"] == 0
+
+    def test_pool_created_once_and_reused(self):
+        with Session() as session:
+            first = session.executor(2)
+            second = session.executor(2)
+            assert first is second
+            assert session.stats["pools_created"] == 1
+
+    def test_pool_grows_for_more_workers(self):
+        with Session() as session:
+            small = session.executor(2)
+            grown = session.executor(3)
+            assert grown is not small
+            # Asking for fewer workers keeps the bigger pool.
+            assert session.executor(2) is grown
+            assert session.stats["pools_created"] == 2
+
+    def test_close_shuts_pool_down(self):
+        session = Session()
+        pool = session.executor(2)
+        session.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(int)
+
+    def test_injected_pool_runs_shards(self):
+        sequences = [(i, Seq()) for i in (7, 3, 9, 5, 2)]
+        solo = SequenceRunner([Probe()]).run(sequences)
+        with Session() as session:
+            run = SequenceRunner([Probe()]).run(
+                sequences, workers=2, executor=session.executor(2)
+            )
+        assert [(c.seq_index, c.t, c.gaze_pred) for c in run.contexts] == [
+            (c.seq_index, c.t, c.gaze_pred) for c in solo.contexts
+        ]
+        assert run.stage_timings["probe"].frames == 15
+
+
+class TestRunEntry:
+    def test_accepts_dict(self):
+        with Session() as session:
+            result = session.run({"workload": "energy"})
+        assert result.workload == "energy"
+
+    def test_rejects_other_types(self):
+        with Session() as session:
+            with pytest.raises(SpecError):
+                session.run("energy")
+
+    def test_invalid_spec_rejected_before_dispatch(self):
+        with Session() as session:
+            with pytest.raises(SpecError, match="workload"):
+                session.run({"workload": "nope"})
+            assert session.stats["runs"] == 0
+
+    def test_provenance_stamped(self):
+        spec = ExperimentSpec.from_dict({"workload": "area"})
+        with Session() as session:
+            result = session.run(spec)
+        prov = result.provenance
+        assert prov["spec_hash"] == spec.spec_hash()
+        assert prov["seed"] == spec.dataset.seed
+        assert prov["workers"] == 1
+        assert prov["spec"] == spec.to_dict()
+
+    def test_json_serializer_round_trips(self, tmp_path):
+        import json
+
+        with Session() as session:
+            result = session.run({"workload": "latency"})
+        path = result.write_json(tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert data["workload"] == "latency"
+        assert data["metrics"] == result.metrics
+        assert "tables" not in data  # renderings never leak into JSON

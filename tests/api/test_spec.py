@@ -1,0 +1,200 @@
+"""ExperimentSpec: round-trip fidelity and field-naming validation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    DatasetSection,
+    ExecutionSection,
+    ExperimentSpec,
+    SpecError,
+    StrategySection,
+)
+
+
+def _full_spec() -> ExperimentSpec:
+    """A spec with every section away from its defaults."""
+    return ExperimentSpec.from_dict(
+        {
+            "workload": "strategy_sweep",
+            "dataset": {
+                "preset": "ci",
+                "num_sequences": 6,
+                "frames_per_sequence": 8,
+                "fps": 60.0,
+                "seed": 3,
+                "eye_scale": 0.7,
+                "dynamics": "lively",
+            },
+            "sensor": {
+                "compression": 12.5,
+                "roi_margin_px": 2,
+                "sensor_seed": 99,
+                "reuse_window": 3,
+            },
+            "strategy": {
+                "names": ["Skip", "Ours (ROI+Random)"],
+                "compression": 8.0,
+                "train_epochs": 2,
+                "seed": 7,
+                "use_gt_roi": False,
+            },
+            "training": {"epochs": 3, "train_indices": [0, 1, 2]},
+            "execution": {
+                "workers": 2,
+                "batched": True,
+                "batch_size": 4,
+                "repeats": 2,
+                "eval_indices": [3, 4, 5],
+                "fps": 240.0,
+            },
+        }
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_identity(self):
+        spec = _full_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_identity(self):
+        spec = _full_spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults_round_trip(self):
+        spec = ExperimentSpec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_plain_json(self):
+        # No tuples or dataclasses may leak into the serialized form.
+        text = json.dumps(_full_spec().to_dict())
+        assert json.loads(text) == _full_spec().to_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        spec = _full_spec()
+        path.write_text(spec.to_json())
+        assert ExperimentSpec.from_file(path) == spec
+
+    def test_spec_hash_stable_and_sensitive(self):
+        assert _full_spec().spec_hash() == _full_spec().spec_hash()
+        other = dataclasses.replace(
+            _full_spec(), dataset=DatasetSection(seed=999)
+        )
+        assert other.spec_hash() != _full_spec().spec_hash()
+
+    def test_section_hash_ignores_other_sections(self):
+        spec = _full_spec()
+        moved = dataclasses.replace(
+            spec, execution=ExecutionSection(workers=8)
+        )
+        key = ("dataset", "sensor", "training")
+        assert spec.section_hash(*key) == moved.section_hash(*key)
+        assert spec.spec_hash() != moved.spec_hash()
+
+
+class TestValidation:
+    def test_unknown_top_level_key_named(self):
+        with pytest.raises(SpecError, match="datasett: unknown field"):
+            ExperimentSpec.from_dict({"datasett": {}})
+
+    def test_unknown_nested_key_named_with_suggestion(self):
+        with pytest.raises(SpecError) as err:
+            ExperimentSpec.from_dict({"execution": {"workerz": 2}})
+        assert err.value.field == "execution.workerz"
+        assert "did you mean 'workers'" in str(err.value)
+
+    def test_unknown_workload_lists_choices(self):
+        with pytest.raises(SpecError, match="unknown workload 'bogus'"):
+            ExperimentSpec.from_dict({"workload": "bogus"})
+
+    def test_unknown_strategy_named_by_index(self):
+        with pytest.raises(SpecError) as err:
+            ExperimentSpec.from_dict(
+                {"strategy": {"names": ["Skip", "Nope"]}}
+            )
+        assert err.value.field == "strategy.names[1]"
+
+    def test_bad_enum_preset(self):
+        with pytest.raises(SpecError, match="dataset.preset"):
+            ExperimentSpec.from_dict({"dataset": {"preset": "huge"}})
+
+    def test_bad_dynamics_preset(self):
+        with pytest.raises(SpecError, match="dataset.dynamics"):
+            ExperimentSpec.from_dict({"dataset": {"dynamics": "frantic"}})
+
+    def test_wrong_type_named(self):
+        with pytest.raises(SpecError, match="dataset.num_sequences"):
+            ExperimentSpec.from_dict({"dataset": {"num_sequences": "four"}})
+        with pytest.raises(SpecError, match="execution.batched"):
+            ExperimentSpec.from_dict({"execution": {"batched": 1}})
+
+    def test_int_widens_to_float_but_not_reverse(self):
+        spec = ExperimentSpec.from_dict({"dataset": {"fps": 90}})
+        assert spec.dataset.fps == 90.0
+        with pytest.raises(SpecError, match="dataset.seed"):
+            ExperimentSpec.from_dict({"dataset": {"seed": 1.5}})
+
+    def test_out_of_range_values_named(self):
+        with pytest.raises(SpecError, match="execution.workers"):
+            ExperimentSpec.from_dict({"execution": {"workers": 0}})
+        with pytest.raises(SpecError, match="sensor.compression"):
+            ExperimentSpec.from_dict({"sensor": {"compression": 0.5}})
+        with pytest.raises(SpecError, match="training.epochs"):
+            ExperimentSpec.from_dict({"training": {"epochs": 0}})
+
+    def test_empty_indices_rejected(self):
+        with pytest.raises(SpecError, match="execution.eval_indices"):
+            ExperimentSpec.from_dict({"execution": {"eval_indices": []}})
+
+    def test_indices_range_checked_against_dataset(self):
+        # Explicit num_sequences bounds the indices...
+        with pytest.raises(SpecError, match=r"eval_indices\[1\].*out of range"):
+            ExperimentSpec.from_dict(
+                {
+                    "dataset": {"num_sequences": 3},
+                    "execution": {"eval_indices": [2, 50]},
+                }
+            )
+        # ...and so does the preset default (ci = 4 sequences).
+        with pytest.raises(SpecError, match=r"train_indices\[0\]"):
+            ExperimentSpec.from_dict({"training": {"train_indices": [4]}})
+        with pytest.raises(SpecError, match=r"eval_indices\[0\]"):
+            ExperimentSpec.from_dict({"execution": {"eval_indices": [-1]}})
+
+    def test_fps_sweep_points_validated(self):
+        spec = ExperimentSpec.from_dict(
+            {"execution": {"fps_sweep_points": [30, 90.5]}}
+        )
+        assert spec.execution.fps_sweep_points == (30.0, 90.5)
+        with pytest.raises(SpecError, match=r"fps_sweep_points\[1\]"):
+            ExperimentSpec.from_dict(
+                {"execution": {"fps_sweep_points": [30, 0]}}
+            )
+        with pytest.raises(SpecError, match="fps_sweep_points"):
+            ExperimentSpec.from_dict({"execution": {"fps_sweep_points": []}})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SpecError, match="invalid JSON"):
+            ExperimentSpec.from_json("{not json")
+
+    def test_direct_construction_validates_on_run_entry(self):
+        # validate() is also the Session.run entry check.
+        spec = ExperimentSpec(strategy=StrategySection(names=("Nope",)))
+        with pytest.raises(SpecError, match="strategy.names"):
+            spec.validate()
+
+    def test_blink_rate_validated(self):
+        spec = ExperimentSpec.from_dict({"dataset": {"blink_rate_hz": 2.0}})
+        assert spec.dataset.blink_rate_hz == 2.0
+        with pytest.raises(SpecError, match="dataset.blink_rate_hz"):
+            ExperimentSpec.from_dict({"dataset": {"blink_rate_hz": -1.0}})
+
+    def test_with_workers_override(self):
+        spec = ExperimentSpec()
+        assert spec.with_workers(None) == spec
+        assert spec.with_workers(4).execution.workers == 4
+        # The rest of the spec is untouched.
+        assert spec.with_workers(4).dataset == spec.dataset

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core import BlissCamPipeline, ci, evaluate_strategy, make_strategy
-from repro.engine import SequenceRunner, Stage
+from repro.engine import SequenceRunner, Stage, shard_executor
 
 
 @pytest.fixture(scope="module")
@@ -74,6 +74,38 @@ class TestShardedRunner:
         run = SequenceRunner([Probe()]).run([], workers=4)
         assert run.contexts == []
         assert run.workers == 1
+
+    def test_injected_executor_without_workers_rejected(self):
+        # Silently ignoring an injected pool (and running in-process)
+        # would defeat the caller's parallelism intent — fail loudly.
+        with shard_executor(2) as pool:
+            with pytest.raises(ValueError, match="workers >= 2"):
+                SequenceRunner([Probe()]).run([(0, Seq())], executor=pool)
+            with pytest.raises(ValueError, match="workers >= 2"):
+                SequenceRunner([Probe()]).run(
+                    [(0, Seq())], workers=1, executor=pool
+                )
+
+    def test_injected_executor_matches_per_call_pool(self):
+        """An injected (persistent) pool with work-stealing shards is
+        invisible in the results: same sequence-major order, same
+        contents, same summed timing counts as the per-call pool."""
+        sequences = [(i, Seq()) for i in (7, 3, 9, 5, 2, 8, 1)]
+        per_call = SequenceRunner([Probe()]).run(sequences, workers=2)
+        with shard_executor(2) as pool:
+            injected = SequenceRunner([Probe()]).run(
+                sequences, workers=2, executor=pool
+            )
+            again = SequenceRunner([Probe()]).run(
+                sequences, workers=2, executor=pool
+            )
+        for run in (injected, again):
+            assert [(c.seq_index, c.t, c.gaze_pred) for c in run.contexts] == [
+                (c.seq_index, c.t, c.gaze_pred) for c in per_call.contexts
+            ]
+            assert run.stage_timings["probe"].frames == (
+                per_call.stage_timings["probe"].frames
+            )
 
 
 class TestShardedTracking:
