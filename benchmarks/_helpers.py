@@ -16,8 +16,12 @@ production code path, not a parallel harness.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 
+from repro.api.result import git_describe
 from repro.api.session import LIVELY_DYNAMICS
 from repro.core import ci
 from repro.segmentation import ViTConfig, ViTSegmenter
@@ -114,3 +118,30 @@ def bench_evaluate_spec(fps: float = 120.0, seed: int = 0) -> dict:
 def once(benchmark, fn):
     """Run an expensive experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def record_bench(path: str | Path, record: dict) -> dict:
+    """Append a benchmark run to ``path``'s performance trajectory.
+
+    ``BENCH_*.json`` files are the perf history successive PRs track:
+    ``latest`` holds this run's record and ``trajectory`` accumulates
+    every run, each entry stamped with ``git describe`` — appending
+    instead of overwriting is what makes the history non-empty across
+    PRs.  Unrecognized existing content (the pre-trajectory flat
+    ``RunResult`` envelope) is absorbed as the first trajectory entry
+    rather than discarded.
+    """
+    path = Path(path)
+    entry = {"git": git_describe(), **record}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        data = {}
+    trajectory = data.get("trajectory")
+    if trajectory is None:
+        # Migrate a legacy flat record into the history it belongs to.
+        trajectory = [data] if data else []
+    trajectory.append(entry)
+    out = {"latest": entry, "trajectory": trajectory}
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    return out

@@ -14,15 +14,16 @@ pre-``Session`` behaviour) and dispatching work-stealing shards onto the
 session's *persistent* pool — ``pool_reuse_speedup`` is the ratio, i.e.
 what reusing one pool buys repeated short-rank runs.
 
-Writes ``BENCH_engine.json`` at the repository root (via the shared
-``RunResult`` serializer) so successive PRs can track the trajectory.
+Appends to ``BENCH_engine.json`` at the repository root (the shared
+``RunResult`` serialization inside a git-stamped ``trajectory`` entry)
+so successive PRs accumulate the perf history.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from _helpers import BENCH_EPOCHS, BENCH_EYE_SCALE, once
+from _helpers import BENCH_EPOCHS, BENCH_EYE_SCALE, once, record_bench
 from repro.api import ExperimentSpec, Session
 from repro.core.throughput import throughput_tables
 
@@ -68,7 +69,7 @@ def run_engine_throughput() -> dict:
     spec = ExperimentSpec.from_dict(BENCH_SPEC)
     with Session() as session:
         result = session.run(spec)
-        result.write_json(_RESULT_PATH)
+        record_bench(_RESULT_PATH, result.to_dict())
     return result.metrics
 
 

@@ -1,0 +1,115 @@
+"""Serving throughput: cross-client micro-batching vs per-client dispatch.
+
+Not a paper figure — this benchmark seeds the performance trajectory of
+the serving runtime (``repro.serve``).  It trains one CI-scale tracker
+through ``repro.api`` (session-memoized), materializes a fleet of
+synthetic client eye-streams, and serves the *same* frames twice:
+
+* **per-client sequential** — every queued frame dispatched alone
+  through the scalar stage kernels (the naive one-loop-per-stream
+  server);
+* **micro-batched** — each tick's due frames dispatched as one
+  cross-client rank through the engine's batched ``process_batch``
+  kernels (vectorized eventification, grouped packed-ViT inference).
+
+Both modes produce bitwise-identical per-client gaze streams (asserted
+here and pinned by ``tests/serve/``); the wall-clock ratio is the
+benefit of batching *across tenants* rather than across a dataset.
+Appends to ``BENCH_serve.json`` at the repository root (git-stamped
+``trajectory`` entries, shared ``record_bench`` plumbing).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from _helpers import BENCH_EPOCHS, BENCH_EYE_SCALE, once, record_bench
+from repro.api import ExperimentSpec, Session
+from repro.serve import ClientSensorFactory, ServeScenario, simulate_serving
+
+#: Wide client fleet: micro-batching pays off when many tenants are due
+#: per tick (the production multi-user story), so the bench serves 24.
+CLIENTS = 24
+TICKS = 10
+#: The PR acceptance bar for micro-batched serving at CI scale.
+TARGET_SPEEDUP = 1.5
+#: Best-of repeats per mode (the served frames are identical each time).
+REPEATS = 3
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+BENCH_SPEC = {
+    "workload": "serve",
+    "dataset": {
+        "num_sequences": 3,
+        "frames_per_sequence": 8,
+        "seed": 11,
+        "eye_scale": BENCH_EYE_SCALE,
+        "dynamics": "lively",
+    },
+    "training": {"train_indices": [0, 1], "epochs": BENCH_EPOCHS},
+}
+
+SCENARIO = ServeScenario(num_clients=CLIENTS, duration_ticks=TICKS)
+
+
+def run_serve_bench() -> dict:
+    spec = ExperimentSpec.from_dict(BENCH_SPEC)
+    with Session() as session:
+        pipeline = session.pipeline(spec)
+    graph, template = pipeline.tracking_setup()
+    factory = ClientSensorFactory(template, spec.sensor.sensor_seed)
+    dataset_cfg = pipeline.config.dataset
+
+    def serve(micro_batch: bool):
+        best = None
+        for _ in range(REPEATS):
+            run = simulate_serving(
+                graph=graph,
+                state_factory=factory,
+                dataset_cfg=dataset_cfg,
+                scenario=SCENARIO,
+                micro_batch=micro_batch,
+            )
+            if best is None or run.wall_seconds < best.wall_seconds:
+                best = run
+        return best
+
+    sequential = serve(micro_batch=False)
+    batched = serve(micro_batch=True)
+    frames = batched.summary["frames"]["processed"]
+    record = {
+        "clients": CLIENTS,
+        "duration_ticks": TICKS,
+        "frames": frames,
+        "sequential_s": sequential.wall_seconds,
+        "batched_s": batched.wall_seconds,
+        "sequential_fps": frames / sequential.wall_seconds,
+        "batched_fps": frames / batched.wall_seconds,
+        "speedup": sequential.wall_seconds / batched.wall_seconds,
+        "bitwise_identical": batched.gaze_log == sequential.gaze_log,
+        "telemetry": batched.summary,
+    }
+    record_bench(_RESULT_PATH, record)
+    return record
+
+
+def test_serve_throughput(benchmark):
+    record = once(benchmark, run_serve_bench)
+
+    print()
+    print(
+        f"served {record['frames']} frames from {CLIENTS} clients: "
+        f"per-client {record['sequential_fps']:.0f} fps, "
+        f"micro-batched {record['batched_fps']:.0f} fps "
+        f"({record['speedup']:.2f}x)"
+    )
+
+    assert record["bitwise_identical"], (
+        "micro-batched serving diverged from per-client dispatch"
+    )
+    assert record["speedup"] >= TARGET_SPEEDUP, (
+        f"cross-client micro-batching only {record['speedup']:.2f}x over "
+        f"per-client sequential dispatch (target {TARGET_SPEEDUP}x)"
+    )

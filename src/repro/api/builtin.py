@@ -10,7 +10,7 @@ the three registries with everything the reproduction ships:
 * the canonical engine stages under unique slugs (the graphs reuse
   timing labels like ``"segment"`` across different classes, so slugs —
   not ``Stage.name`` — key the registry);
-* the nine workload kinds (registered by decorator in
+* the ten workload kinds (registered by decorator in
   :mod:`repro.api.workloads`).
 
 Third-party code extends the same registries with the public

@@ -4,7 +4,7 @@ An :class:`ExperimentSpec` refers to strategies, engine stages, and
 workload kinds by *string*; these registries turn those strings into
 constructors.  Three registries ship populated (`repro.api.builtin`
 registers the paper's strategy zoo, the canonical engine stages, and the
-nine workload kinds), and the decorators are public so third parties can
+ten workload kinds), and the decorators are public so third parties can
 plug in new scenarios without touching core::
 
     from repro.api import register_workload

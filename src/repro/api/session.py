@@ -67,6 +67,20 @@ def system_config(spec: ExperimentSpec):
             dataset,
             dynamics=replace(dataset.dynamics, blink_rate_hz=d.blink_rate_hz),
         )
+    noise_overrides = {
+        name: value
+        for name, value in (
+            ("electrons_per_second_full_scale",
+             d.noise.electrons_per_second_full_scale),
+            ("read_noise_electrons", d.noise.read_noise_electrons),
+            ("bit_depth", d.noise.bit_depth),
+        )
+        if value is not None
+    }
+    if noise_overrides:
+        dataset = replace(
+            dataset, noise=replace(dataset.noise, **noise_overrides)
+        )
     config = replace(
         base,
         dataset=dataset,
@@ -90,6 +104,7 @@ class Session:
     def __init__(self):
         self._executor = None
         self._executor_workers = 0
+        self._closed = False
         self._memo: dict[Any, Any] = {}
         #: Observability counters: how often the session saved work.
         self.stats = {
@@ -105,6 +120,7 @@ class Session:
         in-process runs.  Grow-only: asking for fewer workers than the
         current pool has reuses the bigger pool (idle workers are cheap,
         re-forking is the cost this session exists to amortize)."""
+        self._check_open()
         if workers < 2:
             return None
         if self._executor is None or workers > self._executor_workers:
@@ -141,6 +157,14 @@ class Session:
             self._memo[key] = factory()
         return self._memo[key]
 
+    def cached(self, key: Any) -> bool:
+        """Whether ``key`` is already memoized (no counters touched).
+
+        Lets workloads decide *where* to compute a miss — e.g. the
+        strategy sweep fans uncached trainings out across the pool while
+        cache hits replay in-process."""
+        return key in self._memo
+
     def pipeline(self, spec: ExperimentSpec) -> BlissCamPipeline:
         """A *trained* pipeline for the spec, memoized by its
         training-relevant inputs: the dataset and training sections plus
@@ -169,6 +193,7 @@ class Session:
         """Validate ``spec``, execute its workload, stamp provenance."""
         from repro.api.registry import WORKLOADS
 
+        self._check_open()
         if isinstance(spec, dict):
             spec = ExperimentSpec.from_dict(spec)
         elif isinstance(spec, ExperimentSpec):
@@ -191,13 +216,26 @@ class Session:
         return result
 
     # -- lifecycle -----------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "Session is closed; create a new Session instead of reusing "
+                "a closed one (its pool and caches are gone)"
+            )
+
     def close(self) -> None:
+        """Shut the worker pool down and retire the session.  Idempotent;
+        any later ``run()``/``executor()``/``with`` use raises cleanly
+        instead of silently re-forking a pool the caller thought was
+        released."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
             self._executor_workers = 0
+        self._closed = True
 
     def __enter__(self) -> "Session":
+        self._check_open()
         return self
 
     def __exit__(self, *exc) -> None:

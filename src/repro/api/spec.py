@@ -29,10 +29,12 @@ from pathlib import Path
 
 __all__ = [
     "SpecError",
+    "NoiseSection",
     "DatasetSection",
     "SensorSection",
     "StrategySection",
     "TrainingSection",
+    "ServeSection",
     "ExecutionSection",
     "ExperimentSpec",
 ]
@@ -45,6 +47,10 @@ DATASET_PRESETS = ("ci", "paper")
 PRESET_NUM_SEQUENCES = {"ci": 4, "paper": 32}
 #: Oculomotor-statistics presets.
 DYNAMICS_PRESETS = ("default", "lively")
+#: Client arrival processes of the ``serve`` workload.
+ARRIVAL_PROCESSES = ("uniform", "poisson", "trace")
+#: Deadline policies of the ``serve`` workload.
+DEADLINE_POLICIES = ("drop", "best_effort")
 
 
 class SpecError(ValueError):
@@ -53,6 +59,21 @@ class SpecError(ValueError):
     def __init__(self, field_path: str, message: str):
         super().__init__(f"{field_path}: {message}")
         self.field = field_path
+
+
+@dataclass(frozen=True)
+class NoiseSection:
+    """Overrides of the sensor noise model (:class:`repro.synth.noise.
+    NoiseConfig`).  ``None`` keeps the physical defaults; setting a field
+    changes the rendered frames, so every field is covered by the dataset
+    section hash (a noise override forces a retrain, as it must)."""
+
+    #: Expected photo-electrons at full scale for a 1 s exposure.
+    electrons_per_second_full_scale: float | None = None
+    #: RMS read noise in electrons.
+    read_noise_electrons: float | None = None
+    #: ADC bit depth of the stored pixel values.
+    bit_depth: int | None = None
 
 
 @dataclass(frozen=True)
@@ -76,6 +97,9 @@ class DatasetSection:
     #: Blink rate override (blinks/second); ``None`` keeps the dynamics
     #: preset's (~0.28 Hz, the human average).
     blink_rate_hz: float | None = None
+    #: Sensor noise-model overrides (shot noise scale, read noise, ADC
+    #: depth); all-``None`` keeps the physical defaults.
+    noise: NoiseSection = field(default_factory=NoiseSection)
 
 
 @dataclass(frozen=True)
@@ -118,6 +142,40 @@ class TrainingSection:
 
 
 @dataclass(frozen=True)
+class ServeSection:
+    """The ``serve`` workload: a multi-client streaming scenario.
+
+    Describes the arrival side (how many client eye-streams, what
+    arrival process, for how many frame-time ticks) and the SLO side
+    (deadline policy, per-tick host batch capacity, admission queue).
+    See ``docs/serving.md``.
+    """
+
+    #: Concurrent client eye-streams multiplexed through one tracker.
+    num_clients: int = 4
+    #: Arrival process: ``uniform`` (one frame per tick), ``poisson``
+    #: (exponential inter-arrival gaps), ``trace`` (blink-gated: the
+    #: stream pauses while the synthetic eye blinks).
+    arrival: str = "uniform"
+    #: Virtual-clock ticks (frame periods) to simulate.
+    duration_ticks: int = 12
+    #: ``drop`` sheds frames that can no longer meet their deadline;
+    #: ``best_effort`` processes them anyway and records the miss.
+    deadline_policy: str = "drop"
+    #: Frames the host serves per tick (micro-batch width bound);
+    #: ``None`` serves everything queued.
+    max_batch: int | None = None
+    #: Admission bound: arrivals beyond this queue depth are dropped;
+    #: ``None`` admits everything.
+    queue_capacity: int | None = None
+    #: Ticks a frame may wait in the queue before its completion would
+    #: miss the deadline (deadline = modeled service latency + slack).
+    deadline_slack_ticks: int = 1
+    #: Base seed of the per-client stream/arrival RNG spawns.
+    seed: int = 0
+
+
+@dataclass(frozen=True)
 class ExecutionSection:
     """*How* to run: engine mode, parallelism, model operating point."""
 
@@ -136,6 +194,8 @@ class ExecutionSection:
     #: Frame rates the ``fps_sweep`` workload evaluates; ``None`` uses
     #: the Fig. 16 default points (30, 60, 120, 240, 500).
     fps_sweep_points: tuple[float, ...] | None = None
+    #: The ``serve`` workload's scenario (ignored by other workloads).
+    serve: ServeSection = field(default_factory=ServeSection)
 
 
 _SECTIONS = {
@@ -268,6 +328,23 @@ class ExperimentSpec:
             )
         if d.blink_rate_hz is not None:
             _require("dataset.blink_rate_hz", d.blink_rate_hz >= 0, ">= 0")
+        n = d.noise
+        if n.electrons_per_second_full_scale is not None:
+            _require(
+                "dataset.noise.electrons_per_second_full_scale",
+                n.electrons_per_second_full_scale > 0,
+                "> 0",
+            )
+        if n.read_noise_electrons is not None:
+            _require(
+                "dataset.noise.read_noise_electrons",
+                n.read_noise_electrons >= 0,
+                ">= 0",
+            )
+        if n.bit_depth is not None:
+            _require(
+                "dataset.noise.bit_depth", 1 <= n.bit_depth <= 16, "in [1, 16]"
+            )
         s = self.sensor
         _require("sensor.compression", s.compression >= 1, ">= 1")
         _require("sensor.roi_margin_px", s.roi_margin_px >= 0, ">= 0")
@@ -306,11 +383,46 @@ class ExperimentSpec:
                 )
             for i, fps in enumerate(e.fps_sweep_points):
                 _require(f"execution.fps_sweep_points[{i}]", fps > 0, "> 0")
+        sv = e.serve
+        _require("execution.serve.num_clients", sv.num_clients >= 1, ">= 1")
+        if sv.arrival not in ARRIVAL_PROCESSES:
+            raise SpecError(
+                "execution.serve.arrival",
+                f"unknown arrival process {sv.arrival!r}; "
+                f"choose from {ARRIVAL_PROCESSES}",
+            )
+        _require(
+            "execution.serve.duration_ticks",
+            sv.duration_ticks >= 2,
+            ">= 2 (the first frame per client is a bootstrap)",
+        )
+        if sv.deadline_policy not in DEADLINE_POLICIES:
+            raise SpecError(
+                "execution.serve.deadline_policy",
+                f"unknown policy {sv.deadline_policy!r}; "
+                f"choose from {DEADLINE_POLICIES}",
+            )
+        if sv.max_batch is not None:
+            _require("execution.serve.max_batch", sv.max_batch >= 1, ">= 1")
+        if sv.queue_capacity is not None:
+            _require(
+                "execution.serve.queue_capacity", sv.queue_capacity >= 1, ">= 1"
+            )
+        _require(
+            "execution.serve.deadline_slack_ticks",
+            sv.deadline_slack_ticks >= 0,
+            ">= 0",
+        )
         return self
 
 
 # -- helpers -----------------------------------------------------------------
 def _plain(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
     return list(value) if isinstance(value, tuple) else value
 
 
@@ -363,6 +475,10 @@ def _coerce(value, hint, path: str):
     mismatch.  JSON has no int/float distinction on the way in (``120``
     is a valid fps) nor tuples, so ints widen to float and lists become
     tuples; everything else must match exactly."""
+    if dataclasses.is_dataclass(hint) and isinstance(hint, type):
+        # Nested sub-sections (dataset.noise, execution.serve) recurse
+        # through the same key-checking/coercion machinery.
+        return _section_from_dict(hint, value, path)
     origin = typing.get_origin(hint)
     if origin in (types.UnionType, typing.Union):
         arms = typing.get_args(hint)

@@ -4,10 +4,12 @@ Each workload is ``(session, spec) -> RunResult`` and is registered
 under the spec string it answers to.  Accuracy workloads run the shared
 :mod:`repro.engine` stage runtime through the session's memoized
 pipelines and persistent pool; hardware workloads query the calibrated
-energy/latency/area/power models.  All of them delegate to the same
-functions the legacy entry points use (``pipeline.evaluate``,
-``evaluate_strategy``, ``measure_throughput``), so their metrics are
-bitwise-identical to the pre-API surfaces — the parity tests pin this.
+energy/latency/area/power models; the ``serve`` workload drives the
+:mod:`repro.serve` streaming runtime over a session-trained tracker.
+The offline workloads delegate to the same functions the legacy entry
+points use (``pipeline.evaluate``, ``evaluate_strategy``,
+``measure_throughput``), so their metrics are bitwise-identical to the
+pre-API surfaces — the parity tests pin this.
 """
 
 from __future__ import annotations
@@ -111,9 +113,77 @@ def run_evaluate(session: Session, spec: ExperimentSpec) -> RunResult:
     )
 
 
+def _sweep_key(spec: ExperimentSpec, train_idx, name: str) -> tuple:
+    """The per-strategy training-cache key.
+
+    Only training-relevant inputs key the cache: which other names are
+    in the sweep (and the eval-only use_gt_roi flag) must not force a
+    retrain — strategy_rng is name-keyed precisely so subsets and the
+    full zoo share streams.
+    """
+    st = spec.strategy
+    return (
+        "strategy_training",
+        spec.section_hash("dataset"),
+        st.compression,
+        st.train_epochs,
+        st.seed,
+        tuple(train_idx),
+        name,
+    )
+
+
+def _sweep_strategy_job(
+    config,
+    name: str,
+    compression: float,
+    train_epochs: int,
+    seed: int,
+    train_idx: list[int],
+    eval_idx: list[int],
+    use_gt_roi: bool,
+):
+    """Train + evaluate one strategy of a fanned-out sweep (worker side).
+
+    Module-level so the session pool can pickle it.  Per-strategy RNG
+    streams (:func:`strategy_rng`) are keyed by ``(seed, name)`` —
+    process-independent — and the engine's execution modes are bitwise
+    equivalent, so the result is identical to the serial sweep's.
+    Returns the trained triple *in its post-training RNG state* (the
+    evaluation consumes a deep copy) so the parent can cache it exactly
+    as the in-process path does.
+    """
+    from repro.segmentation import ViTSegmenter
+    from repro.synth import SyntheticEyeDataset
+
+    dataset = SyntheticEyeDataset(config.dataset)
+    rng = strategy_rng(seed, name)
+    strategy = STRATEGIES.get(name)(compression, dataset)
+    segmenter = ViTSegmenter(config.vit, rng)
+    train_for_strategy(
+        segmenter, strategy, dataset, train_idx, train_epochs, rng
+    )
+    evaluation = evaluate_strategy(
+        strategy,
+        segmenter,
+        dataset,
+        eval_idx,
+        copy.deepcopy(rng),
+        use_gt_roi=use_gt_roi,
+    )
+    return strategy, segmenter, rng, evaluation
+
+
 @register_workload("strategy_sweep")
 def run_strategy_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
-    """Fig. 15: train a segmenter per sampling strategy, measure gaze error."""
+    """Fig. 15: train a segmenter per sampling strategy, measure gaze error.
+
+    With ``execution.workers >= 2`` the sweep fans out *across
+    strategies* over the session pool: every uncached strategy trains
+    and evaluates in its own worker process (per-strategy RNG streams
+    are process-independent), bitwise-identical to the serial sweep —
+    the parity tests pin this.  Cache hits always replay in-process.
+    """
     from repro.sampling import STRATEGY_NAMES
     from repro.segmentation import ViTSegmenter
     from repro.synth import SyntheticEyeDataset
@@ -131,50 +201,71 @@ def run_strategy_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
     train_idx, eval_idx = _split_indices(spec, dataset)
     workers, executor = _sharding(session, spec)
 
+    # Fan uncached strategies out across the pool; each worker returns
+    # its trained triple plus the evaluation it already ran in-place.
+    evaluations: dict[str, object] = {}
+    if executor is not None:
+        missing = [
+            n for n in names if not session.cached(_sweep_key(spec, train_idx, n))
+        ]
+        futures = {
+            n: executor.submit(
+                _sweep_strategy_job,
+                config,
+                n,
+                st.compression,
+                st.train_epochs,
+                st.seed,
+                train_idx,
+                eval_idx,
+                st.use_gt_roi,
+            )
+            for n in missing
+        }
+        for n in missing:
+            strategy, segmenter, rng, evaluation = futures[n].result()
+            session.memo(
+                _sweep_key(spec, train_idx, n),
+                lambda triple=(strategy, segmenter, rng): triple,
+            )
+            evaluations[n] = evaluation
+
     per_strategy = {}
     table = Table(
         ["strategy", "horz err (deg)", "vert err (deg)", "compression"],
         title=f"strategy sweep @ {st.compression:g}x target",
     )
     for name in names:
-        # Only training-relevant inputs key the cache: which other names
-        # are in the sweep (and the eval-only use_gt_roi flag) must not
-        # force a retrain — strategy_rng is name-keyed precisely so
-        # subsets and the full zoo share streams.
-        key = (
-            "strategy_training",
-            spec.section_hash("dataset"),
-            st.compression,
-            st.train_epochs,
-            st.seed,
-            tuple(train_idx),
-            name,
-        )
+        evaluation = evaluations.get(name)
+        if evaluation is None:
+            key = _sweep_key(spec, train_idx, name)
 
-        def _train(name: str = name):
-            rng = strategy_rng(st.seed, name)
-            strategy = STRATEGIES.get(name)(st.compression, dataset)
-            segmenter = ViTSegmenter(config.vit, rng)
-            train_for_strategy(
-                segmenter, strategy, dataset, train_idx, st.train_epochs, rng
+            def _train(name: str = name):
+                rng = strategy_rng(st.seed, name)
+                strategy = STRATEGIES.get(name)(st.compression, dataset)
+                segmenter = ViTSegmenter(config.vit, rng)
+                train_for_strategy(
+                    segmenter, strategy, dataset, train_idx, st.train_epochs,
+                    rng,
+                )
+                return strategy, segmenter, rng
+
+            strategy, segmenter, rng = session.memo(key, _train)
+            evaluation = evaluate_strategy(
+                strategy,
+                segmenter,
+                dataset,
+                eval_idx,
+                # Deep-copy the post-training RNG state: the cached
+                # generator stays pristine, so a cache-hit re-run
+                # replays bitwise.
+                copy.deepcopy(rng),
+                batched=spec.execution.batched,
+                batch_size=spec.execution.batch_size,
+                workers=workers,
+                executor=executor,
+                use_gt_roi=st.use_gt_roi,
             )
-            return strategy, segmenter, rng
-
-        strategy, segmenter, rng = session.memo(key, _train)
-        evaluation = evaluate_strategy(
-            strategy,
-            segmenter,
-            dataset,
-            eval_idx,
-            # Deep-copy the post-training RNG state: the cached generator
-            # stays pristine, so a cache-hit re-run replays bitwise.
-            copy.deepcopy(rng),
-            batched=spec.execution.batched,
-            batch_size=spec.execution.batch_size,
-            workers=workers,
-            executor=executor,
-            use_gt_roi=st.use_gt_roi,
-        )
         per_strategy[name] = {
             "horizontal": asdict(evaluation.horizontal),
             "vertical": asdict(evaluation.vertical),
@@ -194,6 +285,74 @@ def run_strategy_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
     return RunResult(
         workload="strategy_sweep", metrics=metrics, tables=[table]
     )
+
+
+@register_workload("serve")
+def run_serve(session: Session, spec: ExperimentSpec) -> RunResult:
+    """Streaming multi-client serving: the ``execution.serve`` scenario.
+
+    Trains (memoized) the spec's tracker, then multiplexes
+    ``serve.num_clients`` synthetic client eye-streams through it with
+    cross-client micro-batching against a virtual clock, under the
+    scenario's arrival process and SLO policy.  ``execution.workers >=
+    2`` partitions the fleet into independent scheduler replicas over
+    the session pool.  Telemetry (latency percentiles, goodput, drop
+    rate, queue depths) is virtual-time, hence deterministic for a given
+    spec + seed; ``wall_seconds`` measures the real serving loop.
+    """
+    from repro.serve import ClientSensorFactory, simulate_serving
+
+    pipeline = session.pipeline(spec)
+    graph, template = pipeline.tracking_setup(
+        reuse_window=spec.sensor.reuse_window,
+        sensor_seed=spec.sensor.sensor_seed,
+    )
+    workers, executor = _sharding(session, spec)
+    scenario = spec.execution.serve
+    run = simulate_serving(
+        graph=graph,
+        state_factory=ClientSensorFactory(template, spec.sensor.sensor_seed),
+        dataset_cfg=pipeline.config.dataset,
+        scenario=scenario,
+        workers=workers,
+        executor=executor,
+    )
+    telemetry = run.summary
+    frames = telemetry["frames"]
+    metrics = {
+        "clients": scenario.num_clients,
+        "arrival": scenario.arrival,
+        "duration_ticks": scenario.duration_ticks,
+        "deadline_policy": scenario.deadline_policy,
+        "max_batch": scenario.max_batch,
+        "replicas": run.workers,
+        "telemetry": telemetry,
+        # Real serving-loop throughput (non-deterministic; excluded from
+        # the determinism guarantee the telemetry block carries).
+        "wall_seconds": run.wall_seconds,
+        "served_fps_wall": (
+            frames["processed"] / run.wall_seconds
+            if run.wall_seconds > 0
+            else 0.0
+        ),
+    }
+    table = Table(["metric", "value"], title="serving scorecard")
+    table.add_row("clients", scenario.num_clients)
+    table.add_row("arrival process", scenario.arrival)
+    table.add_row("frames arrived", frames["arrived"])
+    table.add_row("frames completed", frames["completed"])
+    table.add_row("frames dropped", frames["dropped"])
+    table.add_row("drop rate", f"{telemetry['drop_rate']:.1%}")
+    lat = telemetry["latency_ms"]
+    for pct in ("p50", "p95", "p99"):
+        value = lat[pct]
+        table.add_row(
+            f"latency {pct} (ms)",
+            round(value, 3) if value is not None else "-",
+        )
+    table.add_row("goodput (fps)", round(telemetry["goodput_fps"], 1))
+    table.add_row("max queue depth", telemetry["queue_depth"]["max"])
+    return RunResult(workload="serve", metrics=metrics, tables=[table])
 
 
 @register_workload("throughput")

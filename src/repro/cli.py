@@ -4,6 +4,9 @@ Commands
 --------
 ``run``          execute a declarative experiment spec (JSON file)
 ``quickstart``   train + evaluate the end-to-end pipeline (CI scale)
+``serve``        streaming multi-client serving with cross-client
+                 micro-batching (``--workers N`` partitions the fleet
+                 into scheduler replicas; see docs/serving.md)
 ``throughput``   staged-engine frames/sec: sequential vs batched lockstep
                  (``--workers N`` also times the sharded multi-process mode)
 ``energy``       per-frame energy breakdown of the four variants
@@ -44,6 +47,35 @@ def _spec_quickstart(args: argparse.Namespace) -> ExperimentSpec:
     return ExperimentSpec.from_dict({"workload": "evaluate"})
 
 
+def _spec_serve(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            "workload": "serve",
+            # A small tracker is enough to exercise the serving runtime;
+            # the scenario knobs are what the subcommand parameterizes.
+            "dataset": {
+                "num_sequences": 3,
+                "frames_per_sequence": 8,
+                "dynamics": "lively",
+            },
+            "training": {"train_indices": [0, 1], "epochs": 2},
+            "execution": {
+                "serve": {
+                    "num_clients": args.clients,
+                    "duration_ticks": args.ticks,
+                    "arrival": args.arrival,
+                    "deadline_policy": args.deadline_policy,
+                    **(
+                        {"max_batch": args.max_batch}
+                        if args.max_batch
+                        else {}
+                    ),
+                }
+            },
+        }
+    )
+
+
 def _spec_throughput(args: argparse.Namespace) -> ExperimentSpec:
     return ExperimentSpec.from_dict(
         {
@@ -70,6 +102,7 @@ def _hardware_spec(workload: str):
 _SPEC_BUILDERS = {
     "run": _spec_run,
     "quickstart": _spec_quickstart,
+    "serve": _spec_serve,
     "throughput": _spec_throughput,
     "energy": _hardware_spec("energy"),
     "latency": _hardware_spec("latency"),
@@ -81,7 +114,7 @@ _SPEC_BUILDERS = {
 
 #: Workloads that train a pipeline before producing output (announce it,
 #: or the terminal sits silent for the whole joint training).
-_TRAINING_WORKLOADS = {"evaluate", "strategy_sweep", "throughput"}
+_TRAINING_WORKLOADS = {"evaluate", "strategy_sweep", "throughput", "serve"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,6 +137,35 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=None,
                 help="override the spec's execution.workers",
+            )
+            continue
+        if name == "serve":
+            cmd.add_argument(
+                "--clients", type=int, default=4,
+                help="concurrent client eye-streams (default 4)",
+            )
+            cmd.add_argument(
+                "--ticks", type=int, default=12,
+                help="virtual-clock frame periods to simulate (default 12)",
+            )
+            cmd.add_argument(
+                "--arrival", default="uniform",
+                choices=("uniform", "poisson", "trace"),
+                help="client arrival process",
+            )
+            cmd.add_argument(
+                "--deadline-policy", default="drop",
+                choices=("drop", "best_effort"),
+                help="shed doomed frames, or serve them late",
+            )
+            cmd.add_argument(
+                "--max-batch", type=int, default=0,
+                help="host micro-batch capacity per tick (0 = unbounded)",
+            )
+            cmd.add_argument(
+                "--workers", type=int, default=0,
+                help="partition the fleet into N scheduler replicas "
+                "(0/1 = one scheduler)",
             )
             continue
         cmd.add_argument("--fps", type=float, default=120.0)

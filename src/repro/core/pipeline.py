@@ -256,6 +256,31 @@ class BlissCamPipeline:
             self._sensor_templates[seed] = self.build_sensor(seed=seed)
         return self._sensor_templates[seed]
 
+    def tracking_setup(
+        self, reuse_window: int = 1, sensor_seed: int = 1234
+    ) -> tuple:
+        """``(stage graph, calibrated sensor template)`` for this tracker.
+
+        The unit streaming consumers build on: :meth:`evaluate` wraps it
+        in a :func:`~repro.engine.tracking_runner` over dataset
+        sequences, while ``repro.serve`` drives the same graph frame by
+        frame with per-client sensor spawns from the template.  Requires
+        a trained pipeline (the graph closes over the trained predictor,
+        segmenter and calibrated gaze estimator).
+        """
+        if not self.gaze_estimator.is_fitted:
+            raise RuntimeError("pipeline must be trained before evaluation")
+        template = self._sensor_template(sensor_seed)
+        graph = build_tracking_graph(
+            predictor=template.roi_predictor,
+            segmenter=self.segmenter,
+            gaze_estimator=self.gaze_estimator,
+            height=self.config.height,
+            width=self.config.width,
+            reuse_window=reuse_window,
+        )
+        return graph, template
+
     def evaluate(
         self,
         eval_indices: list[int] | None = None,
@@ -277,18 +302,10 @@ class BlissCamPipeline:
         instead of forking one per call.  All modes produce
         bitwise-identical results; see ``docs/architecture.md``.
         """
-        if not self.gaze_estimator.is_fitted:
-            raise RuntimeError("pipeline must be trained before evaluation")
         if eval_indices is None:
             _, eval_indices = self.dataset.split()
-        template = self._sensor_template(sensor_seed)
-        graph = build_tracking_graph(
-            predictor=template.roi_predictor,
-            segmenter=self.segmenter,
-            gaze_estimator=self.gaze_estimator,
-            height=self.config.height,
-            width=self.config.width,
-            reuse_window=reuse_window,
+        graph, template = self.tracking_setup(
+            reuse_window=reuse_window, sensor_seed=sensor_seed
         )
         runner = tracking_runner(
             sensor_template=template,

@@ -1,0 +1,55 @@
+"""The serving runtime's virtual clock.
+
+Serving is simulated against *virtual time*: one tick is one camera
+frame period, every arrival/dispatch/completion timestamp is a tick
+count, and latencies are derived from the modeled hardware service time
+(:mod:`repro.serve.slo`) — never from wall-clock.  That is what makes a
+serving run a deterministic function of ``(spec, seed)``: the same
+scenario produces byte-identical telemetry on any machine, while the
+*throughput* of the simulation itself (how fast the host executes the
+micro-batched kernels) is measured separately by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VirtualClock"]
+
+
+@dataclass
+class VirtualClock:
+    """Discrete frame-period ticks with a seconds view.
+
+    ``tick`` counts frame periods since the scenario started; ``now_s``
+    is the equivalent virtual seconds.  The scheduler advances the clock
+    exactly once per event-loop iteration.
+    """
+
+    #: Seconds per tick (one camera frame period, ``1 / fps``).
+    tick_s: float
+    tick: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0:
+            raise ValueError(f"tick_s must be positive: {self.tick_s}")
+
+    @classmethod
+    def for_fps(cls, fps: float) -> "VirtualClock":
+        if fps <= 0:
+            raise ValueError(f"fps must be positive: {fps}")
+        return cls(tick_s=1.0 / fps)
+
+    @property
+    def now_s(self) -> float:
+        """Virtual seconds elapsed since tick 0."""
+        return self.tick * self.tick_s
+
+    def advance(self) -> int:
+        """Move to the next tick; returns the new tick index."""
+        self.tick += 1
+        return self.tick
+
+    def seconds(self, ticks: int) -> float:
+        """Convert a tick count (e.g. a queue wait) to virtual seconds."""
+        return ticks * self.tick_s

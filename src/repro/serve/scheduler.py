@@ -1,0 +1,409 @@
+"""The serving event loop: admission, deadline shedding, micro-batching.
+
+One :class:`Scheduler` owns a FIFO queue of :class:`FrameArrival`\\ s and
+walks the virtual clock.  Each tick it
+
+1. **admits** the frames arriving from every client stream, dropping
+   beyond the bounded queue (``queue_full``);
+2. **sheds** frames that can no longer meet their deadline (``drop``
+   policy) instead of wasting host compute on them;
+3. **dispatches** up to ``max_batch`` queued frames as one cross-client
+   micro-batch through the tracking stage graph's ``process_batch``
+   kernels — the same vectorized kernels the offline engine's lockstep
+   mode uses.  Every client keeps its own
+   :class:`~repro.engine.context.SequenceState` (spawned sensor, fed-back
+   segmentation, gaze fallback), and the kernels are bitwise
+   batch-invariant, so a client's outputs are identical no matter which
+   other clients share its micro-batches — the serve parity tests pin
+   this against serving each client alone.
+
+``workers >= 2`` partitions the client fleet into contiguous shards and
+runs one independent scheduler *replica* per worker process — the
+horizontal-scaling story: each replica has its own queue and per-tick
+batch budget, exactly like a fleet of serving processes behind a
+client-affine load balancer.  Per-client results are unchanged by
+partitioning (streams and sensor spawns are keyed by client id), and
+merged telemetry summaries are byte-identical to a single scheduler
+whenever no queueing interaction occurs (no drops / no waits).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.engine.context import FrameContext, SequenceState
+from repro.engine.stage import StageGraph
+from repro.serve.slo import SLOModel
+from repro.serve.streams import (
+    SERVE_STREAM_TAG,
+    FrameArrival,
+    build_streams,
+    materialize_arrivals,
+)
+from repro.serve.telemetry import FrameRecord, Telemetry
+
+__all__ = [
+    "ServeScenario",
+    "ClientSensorFactory",
+    "Scheduler",
+    "ServeRun",
+    "simulate_serving",
+]
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """A serving scenario: the arrival side plus the SLO knobs.
+
+    Field-compatible with the spec's ``execution.serve`` section —
+    field names *and* defaults must match (``repro.api`` passes that
+    section straight through, and ``tests/serve`` pins the parity), so
+    direct-library users and spec users describe identical scenarios.
+    """
+
+    num_clients: int = 4
+    arrival: str = "uniform"
+    duration_ticks: int = 12
+    deadline_policy: str = "drop"
+    max_batch: int | None = None
+    queue_capacity: int | None = None
+    deadline_slack_ticks: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Mirrors the spec-level validation for direct-library users who
+        # never go through ExperimentSpec.validate().
+        if self.num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1: {self.num_clients}")
+        if self.duration_ticks < 2:
+            raise ValueError(
+                f"duration_ticks must be >= 2: {self.duration_ticks}"
+            )
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {self.max_batch}")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1: {self.queue_capacity}"
+            )
+        if self.deadline_slack_ticks < 0:
+            raise ValueError(
+                f"deadline_slack_ticks must be >= 0: "
+                f"{self.deadline_slack_ticks}"
+            )
+
+
+@dataclass
+class ClientSensorFactory:
+    """``client_id -> SequenceState`` with a per-client sensor spawn.
+
+    Mirrors the engine's ``SensorSpawnFactory`` but in the serve RNG
+    namespace: runtime noise streams are keyed ``[sensor_seed,
+    SERVE_STREAM_TAG, client_id]``, so a client's sensor draws are
+    independent of admission order, micro-batch composition and shard
+    placement.  A plain class so sharded replicas can pickle it.
+    """
+
+    sensor_template: Any
+    sensor_seed: int
+
+    def __call__(self, client_id: int) -> SequenceState:
+        state = SequenceState(seq_index=client_id)
+        state.sensor = self.sensor_template.spawn(
+            [self.sensor_seed, SERVE_STREAM_TAG, client_id]
+        )
+        return state
+
+
+@dataclass
+class ServeRun:
+    """Everything one serving simulation produced."""
+
+    telemetry: Telemetry
+    #: ``(client_id, frame_index, gaze_pred)`` per completed frame, in
+    #: dispatch order — the raw material of the per-client parity tests.
+    gaze_log: list[tuple[int, int, tuple[float, float]]]
+    #: Wall-clock seconds of the serving loop (dispatch + kernels only;
+    #: stream generation is materialized beforehand).
+    wall_seconds: float
+    #: Scheduler replicas the fleet was partitioned into.
+    workers: int = 1
+
+    @property
+    def summary(self) -> dict:
+        return self.telemetry.summary()
+
+
+class Scheduler:
+    """Event-loop over a virtual clock, serving one client partition."""
+
+    def __init__(
+        self,
+        graph: StageGraph,
+        state_factory,
+        slo: SLOModel,
+        max_batch: int | None = None,
+        queue_capacity: int | None = None,
+        micro_batch: bool = True,
+    ):
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1: {queue_capacity}")
+        self.graph = graph
+        self.state_factory = state_factory
+        self.slo = slo
+        self.max_batch = max_batch
+        self.queue_capacity = queue_capacity
+        self.micro_batch = micro_batch
+        self._states: dict[int, SequenceState] = {}
+
+    # -- client admission -----------------------------------------------------
+    def _state_for(self, client_id: int) -> SequenceState:
+        if client_id not in self._states:
+            state = self.state_factory(client_id)
+            for stage in self.graph:
+                stage.start_sequence(state)
+            self._states[client_id] = state
+        return self._states[client_id]
+
+    # -- the loop -------------------------------------------------------------
+    def run(
+        self,
+        arrivals_by_tick: list[list[FrameArrival]],
+        telemetry: Telemetry,
+    ) -> list[tuple[int, int, tuple[float, float]]]:
+        """Serve the scenario; records into ``telemetry``, returns the
+        gaze log."""
+        # Virtual time: tick t of the loop IS VirtualClock tick t (the
+        # clock's seconds view lives in the SLO's latency arithmetic).
+        queue: deque[FrameArrival] = deque()
+        gaze_log: list[tuple[int, int, tuple[float, float]]] = []
+        for tick, arrivals in enumerate(arrivals_by_tick):
+            # 1. Admission control: a bounded queue is the backpressure
+            # mechanism — beyond it, load shedding beats unbounded delay.
+            for arrival in arrivals:
+                if (
+                    self.queue_capacity is not None
+                    and len(queue) >= self.queue_capacity
+                ):
+                    telemetry.record_drop(
+                        arrival.client_id, tick, "queue_full"
+                    )
+                else:
+                    queue.append(arrival)
+            # 2./3. Pop up to max_batch serviceable frames, shedding the
+            # doomed ones (drop policy) without charging the batch budget.
+            budget = self.max_batch if self.max_batch is not None else len(queue)
+            jobs: list[FrameArrival] = []
+            while queue and len(jobs) < budget:
+                arrival = queue.popleft()
+                if self.slo.sheds(tick - arrival.tick):
+                    telemetry.record_drop(arrival.client_id, tick, "deadline")
+                    continue
+                jobs.append(arrival)
+            if jobs:
+                self._dispatch(tick, jobs, telemetry, gaze_log)
+            telemetry.record_queue_depth(len(queue))
+        # Frames still queued when the scenario ends were admitted but
+        # never served; account them as backlog so 'arrived' and the
+        # drop-rate denominator cover every frame under overload.
+        for arrival in queue:
+            telemetry.record_backlog(arrival.client_id)
+        return gaze_log
+
+    def _dispatch(
+        self,
+        tick: int,
+        jobs: list[FrameArrival],
+        telemetry: Telemetry,
+        gaze_log: list,
+    ) -> None:
+        ctxs = [
+            FrameContext(
+                seq_index=job.client_id,
+                t=job.frame_index,
+                frame=job.frame,
+                gaze_true=job.gaze_true,
+            )
+            for job in jobs
+        ]
+        states = [self._state_for(job.client_id) for job in jobs]
+        if self.micro_batch:
+            rank = list(zip(ctxs, states))
+            for stage in self.graph:
+                live = [(c, s) for c, s in rank if not c.skipped]
+                if not live:
+                    break
+                stage.process_batch(
+                    [c for c, _ in live], [s for _, s in live]
+                )
+        else:
+            # The per-client-sequential baseline: same kernels, one frame
+            # at a time (what a naive per-stream serving loop would do).
+            for ctx, state in zip(ctxs, states):
+                for stage in self.graph:
+                    if ctx.skipped:
+                        break
+                    stage.process(ctx, state)
+        for job, ctx in zip(jobs, ctxs):
+            wait = tick - job.tick
+            if ctx.skipped:
+                # Bootstrap: the sensor latched its first analog frame.
+                telemetry.record_frame(
+                    FrameRecord(
+                        client_id=job.client_id,
+                        arrival_tick=job.tick,
+                        dispatch_tick=tick,
+                        latency_s=self.slo.latency_s(wait),
+                        met_deadline=self.slo.meets_deadline(wait),
+                        bootstrap=True,
+                        gaze_error_deg=None,
+                    )
+                )
+            else:
+                error = float(
+                    np.hypot(
+                        ctx.gaze_pred[0] - job.gaze_true[0],
+                        ctx.gaze_pred[1] - job.gaze_true[1],
+                    )
+                )
+                telemetry.record_frame(
+                    FrameRecord(
+                        client_id=job.client_id,
+                        arrival_tick=job.tick,
+                        dispatch_tick=tick,
+                        latency_s=self.slo.latency_s(wait),
+                        met_deadline=self.slo.meets_deadline(wait),
+                        bootstrap=False,
+                        gaze_error_deg=error,
+                    )
+                )
+                gaze_log.append(
+                    (
+                        job.client_id,
+                        job.frame_index,
+                        (float(ctx.gaze_pred[0]), float(ctx.gaze_pred[1])),
+                    )
+                )
+            ctx.release_intermediates()
+
+
+# -- simulation entry points --------------------------------------------------
+def _serve_partition(
+    graph: StageGraph,
+    state_factory,
+    dataset_cfg,
+    scenario,
+    slo: SLOModel,
+    client_ids: list[int],
+    micro_batch: bool,
+) -> tuple[Telemetry, list, float]:
+    """Run one scheduler replica over a client partition.
+
+    Module-level so sharded serving can ship it to worker processes
+    (the graph, state factory and dataset config all pickle; streams are
+    rebuilt in-worker from their client ids — cheaper than pickling
+    frames).
+    """
+    streams = build_streams(
+        dataset_cfg,
+        client_ids,
+        arrival=scenario.arrival,
+        seed=scenario.seed,
+    )
+    arrivals = materialize_arrivals(streams, scenario.duration_ticks)
+    telemetry = Telemetry(
+        tick_s=slo.tick_s,
+        deadline_s=slo.deadline_s,
+        duration_ticks=scenario.duration_ticks,
+    )
+    scheduler = Scheduler(
+        graph,
+        state_factory,
+        slo,
+        max_batch=scenario.max_batch,
+        queue_capacity=scenario.queue_capacity,
+        micro_batch=micro_batch,
+    )
+    start = time.perf_counter()
+    gaze_log = scheduler.run(arrivals, telemetry)
+    wall = time.perf_counter() - start
+    return telemetry, gaze_log, wall
+
+
+def simulate_serving(
+    *,
+    graph: StageGraph,
+    state_factory,
+    dataset_cfg,
+    scenario,
+    slo: SLOModel | None = None,
+    micro_batch: bool = True,
+    workers: int | None = None,
+    executor=None,
+    client_ids: list[int] | None = None,
+) -> ServeRun:
+    """Serve ``scenario``'s client fleet through a tracking stage graph.
+
+    ``scenario`` is a :class:`ServeScenario` or anything field-compatible
+    (the spec's ``execution.serve`` section).  ``micro_batch=False``
+    dispatches frames one at a time — the per-client-sequential baseline
+    the serving benchmark compares against.  ``workers >= 2`` partitions
+    the fleet into that many independent scheduler replicas executed in
+    worker processes (``executor`` injects a persistent pool, e.g. the
+    session's).  Telemetry latencies are virtual-clock, hence
+    deterministic; ``wall_seconds`` measures the real serving loop.
+    """
+    if slo is None:
+        slo = SLOModel.from_hardware(
+            fps=dataset_cfg.fps,
+            slack_ticks=scenario.deadline_slack_ticks,
+            policy=scenario.deadline_policy,
+        )
+    if client_ids is None:
+        client_ids = list(range(scenario.num_clients))
+    n_workers = max(1, min(workers or 1, len(client_ids)))
+    if n_workers >= 2:
+        bounds = np.linspace(0, len(client_ids), n_workers + 1).astype(int)
+        partitions = [
+            client_ids[lo:hi]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        args = [
+            (graph, state_factory, dataset_cfg, scenario, slo, part, micro_batch)
+            for part in partitions
+        ]
+        if executor is not None:
+            futures = [executor.submit(_serve_partition, *a) for a in args]
+            results = [f.result() for f in futures]
+        else:
+            from repro.engine.runner import shard_executor
+
+            with shard_executor(len(partitions)) as pool:
+                futures = [pool.submit(_serve_partition, *a) for a in args]
+                results = [f.result() for f in futures]
+        telemetry, gaze_log, _ = results[0]
+        for part_telemetry, part_log, _ in results[1:]:
+            telemetry.merge(part_telemetry)
+            gaze_log = gaze_log + part_log
+        # Replicas serve concurrently: the fleet's serving time is the
+        # slowest replica's loop, not the sum.
+        wall = max(w for _, _, w in results)
+    else:
+        n_workers = 1
+        telemetry, gaze_log, wall = _serve_partition(
+            graph, state_factory, dataset_cfg, scenario, slo,
+            client_ids, micro_batch,
+        )
+    return ServeRun(
+        telemetry=telemetry,
+        gaze_log=gaze_log,
+        wall_seconds=wall,
+        workers=n_workers,
+    )

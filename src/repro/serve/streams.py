@@ -1,0 +1,191 @@
+"""Per-client synthetic eye-streams and their arrival processes.
+
+A :class:`ClientStream` is one live subject: a
+:class:`~repro.synth.gaze_dynamics.GazeSequenceGenerator` advances the
+eye every tick (the eye keeps moving whether or not a frame is
+captured), and the arrival process decides at which ticks the sensor
+actually emits a frame:
+
+* ``uniform`` — one frame every tick, the nominal camera cadence;
+* ``poisson`` — exponential inter-arrival gaps (at least one tick: a
+  camera emits at most one frame per frame period), modelling jittery
+  or thinned streams;
+* ``trace`` — blink-gated: the stream pauses while the synthetic eye
+  blinks, the event-camera-style pattern where occluded frames are
+  suppressed at the source.
+
+Randomness follows the repo's spawn convention: every per-client stream
+is keyed by ``[seed, SERVE_STREAM_TAG, client_id]`` — order- and
+process-insensitive, so a client generates the *same* frames whether it
+is served alone, multiplexed with a thousand others, or simulated inside
+a sharded worker.  The arrival process draws from its *own* spawn
+(``[..., client_id, 1]``), so the eye trace is invariant to the arrival
+process chosen.  ``SERVE_STREAM_TAG`` namespaces serving clients away
+from dataset sequences (which are keyed ``[seed, index]``): client 0 is
+a new subject, not a replay of training sequence 0.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.dataset import DatasetConfig
+from repro.synth.eye_model import EyeGeometry
+from repro.synth.gaze_dynamics import GazeSequenceGenerator
+from repro.synth.noise import SensorNoiseModel, exposure_for_fps
+from repro.synth.renderer import EyeRenderer
+
+__all__ = [
+    "SERVE_STREAM_TAG",
+    "FrameArrival",
+    "ClientStream",
+    "build_streams",
+    "materialize_arrivals",
+]
+
+#: RNG namespace separating serving clients from dataset sequences.
+SERVE_STREAM_TAG = zlib.crc32(b"repro.serve")
+
+
+@dataclass
+class FrameArrival:
+    """One frame arriving at the serving queue."""
+
+    client_id: int
+    #: Tick at which the frame arrived (its exposure finished).
+    tick: int
+    #: Position in the client's emitted stream (the engine's ``t``).
+    frame_index: int
+    frame: np.ndarray
+    gaze_true: np.ndarray
+    in_blink: bool
+    in_saccade: bool
+
+
+class ClientStream:
+    """One client's lazily-generated eye stream.
+
+    ``poll(tick)`` must be called for every tick in order (the dynamics
+    advance exactly once per tick); it returns the frame arriving at
+    that tick, or ``None`` when the arrival process emits nothing.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: DatasetConfig,
+        arrival: str = "uniform",
+        seed: int = 0,
+    ):
+        if arrival not in ("uniform", "poisson", "trace"):
+            raise ValueError(f"unknown arrival process: {arrival!r}")
+        self.client_id = client_id
+        self.arrival = arrival
+        self.dataset = dataset
+        rng = np.random.default_rng([seed, SERVE_STREAM_TAG, client_id])
+        geometry = EyeGeometry.random(rng).scaled(dataset.eye_scale)
+        self._renderer = EyeRenderer(
+            geometry, dataset.height, dataset.width, rng
+        )
+        self._dynamics = GazeSequenceGenerator(
+            geometry, dataset.fps, rng, dataset.dynamics
+        )
+        self._noise = SensorNoiseModel(
+            dataset.noise, seed=int(rng.integers(0, 2**31))
+        )
+        self._exposure_s = (
+            dataset.exposure_s
+            if dataset.exposure_s is not None
+            else exposure_for_fps(dataset.fps)
+        )
+        # The arrival process has its own spawn so the eye trace above is
+        # invariant to which process is configured.
+        self._arrival_rng = np.random.default_rng(
+            [seed, SERVE_STREAM_TAG, client_id, 1]
+        )
+        self._frame_index = 0
+        self._expected_tick = 0
+        self._next_poisson_tick = 0
+
+    # -- arrival processes ----------------------------------------------------
+    def _arrives(self, tick: int, in_blink: bool) -> bool:
+        if self.arrival == "uniform":
+            return True
+        if self.arrival == "trace":
+            return not in_blink
+        # poisson: exponential gaps, floored at one tick (one frame per
+        # frame period is the camera's physical ceiling).
+        if tick < self._next_poisson_tick:
+            return False
+        gap = max(1, int(np.ceil(self._arrival_rng.exponential(1.0))))
+        self._next_poisson_tick = tick + gap
+        return True
+
+    # -- stream ---------------------------------------------------------------
+    def poll(self, tick: int) -> FrameArrival | None:
+        """The frame arriving at ``tick``, or ``None``.
+
+        Ticks must be polled consecutively from 0: the eye advances one
+        frame period per call regardless of whether a frame is emitted.
+        """
+        if tick != self._expected_tick:
+            raise ValueError(
+                f"client {self.client_id} polled at tick {tick}, expected "
+                f"{self._expected_tick} (ticks must be consecutive)"
+            )
+        self._expected_tick += 1
+        state = self._dynamics.step()
+        if not self._arrives(tick, state.in_blink):
+            return None
+        rendered = self._renderer.render(state)
+        frame = rendered.image
+        if self.dataset.apply_noise:
+            frame = self._noise.apply(frame, self._exposure_s)
+        arrival = FrameArrival(
+            client_id=self.client_id,
+            tick=tick,
+            frame_index=self._frame_index,
+            frame=frame,
+            gaze_true=np.asarray(rendered.gaze, dtype=float),
+            in_blink=state.in_blink,
+            in_saccade=state.in_saccade,
+        )
+        self._frame_index += 1
+        return arrival
+
+
+def build_streams(
+    dataset: DatasetConfig,
+    client_ids,
+    arrival: str = "uniform",
+    seed: int = 0,
+) -> list[ClientStream]:
+    """One :class:`ClientStream` per id, each with its own RNG spawns."""
+    return [
+        ClientStream(client_id, dataset, arrival=arrival, seed=seed)
+        for client_id in client_ids
+    ]
+
+
+def materialize_arrivals(
+    streams: list[ClientStream], duration_ticks: int
+) -> list[list[FrameArrival]]:
+    """All arrivals, grouped by tick (clients in stream order per tick).
+
+    Materializing up front separates frame *generation* (rendering +
+    noise, identical in every dispatch mode) from frame *serving*, so
+    benchmarks time the scheduler and kernels, not the scene simulator.
+    """
+    if duration_ticks < 0:
+        raise ValueError("duration_ticks must be non-negative")
+    return [
+        [
+            arrival
+            for stream in streams
+            if (arrival := stream.poll(tick)) is not None
+        ]
+        for tick in range(duration_ticks)
+    ]

@@ -1,0 +1,189 @@
+"""Serving telemetry: per-frame records folded into SLO metrics.
+
+The aggregator stores raw per-frame records (completions, drops,
+queue-depth samples) and folds them into one JSON-able summary:
+latency percentiles (p50/p95/p99), goodput, drop rate, per-reason drop
+counts, queue-depth traces, and per-client accounting.  All reductions
+are computed over *sorted* operands, so a summary is a pure function of
+the record multiset — merging shard telemetries (clients partitioned
+across worker replicas) yields the same summary bytes as one scheduler
+observing every client, regardless of shard boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FrameRecord", "DropRecord", "Telemetry"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One frame that went through the pipeline."""
+
+    client_id: int
+    arrival_tick: int
+    dispatch_tick: int
+    latency_s: float
+    met_deadline: bool
+    #: Bootstrap frames prime the sensor's analog memory and produce no
+    #: gaze; they count as processed but not as completions.
+    bootstrap: bool
+    gaze_error_deg: float | None
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """One frame shed before processing."""
+
+    client_id: int
+    tick: int
+    #: ``queue_full`` (admission control) or ``deadline`` (doomed frame).
+    reason: str
+
+
+class Telemetry:
+    """Accumulates serving records; :meth:`summary` folds them to JSON."""
+
+    def __init__(self, tick_s: float, deadline_s: float, duration_ticks: int):
+        self.tick_s = tick_s
+        self.deadline_s = deadline_s
+        self.duration_ticks = duration_ticks
+        self.frames: list[FrameRecord] = []
+        self.drops: list[DropRecord] = []
+        #: Queue depth after each tick's dispatch (one entry per tick).
+        self.queue_depths: list[int] = []
+        #: Client ids of frames still queued when the scenario ended —
+        #: admitted but never served; counted as arrived, not dropped.
+        self.backlog: list[int] = []
+
+    # -- recording ------------------------------------------------------------
+    def record_frame(self, record: FrameRecord) -> None:
+        self.frames.append(record)
+
+    def record_drop(self, client_id: int, tick: int, reason: str) -> None:
+        self.drops.append(DropRecord(client_id, tick, reason))
+
+    def record_queue_depth(self, depth: int) -> None:
+        self.queue_depths.append(depth)
+
+    def record_backlog(self, client_id: int) -> None:
+        self.backlog.append(client_id)
+
+    # -- merging (sharded replicas) -------------------------------------------
+    def merge(self, other: "Telemetry") -> None:
+        """Fold a replica's records in.
+
+        Queue depths are summed element-wise: replicas tick in lockstep
+        over the same virtual clock, so the sum is the fleet-wide queued
+        backlog at each tick.
+        """
+        if (self.tick_s, self.duration_ticks) != (
+            other.tick_s,
+            other.duration_ticks,
+        ):
+            raise ValueError("cannot merge telemetry of different scenarios")
+        self.frames.extend(other.frames)
+        self.drops.extend(other.drops)
+        self.backlog.extend(other.backlog)
+        if not self.queue_depths:
+            self.queue_depths = list(other.queue_depths)
+        else:
+            self.queue_depths = [
+                a + b for a, b in zip(self.queue_depths, other.queue_depths)
+            ]
+
+    # -- summary --------------------------------------------------------------
+    def summary(self) -> dict:
+        """The serving scorecard; deterministic for a given record set."""
+        completions = [f for f in self.frames if not f.bootstrap]
+        bootstraps = len(self.frames) - len(completions)
+        # Every admitted-or-refused frame is accounted for: processed,
+        # dropped, or still queued when the scenario ended (backlog).
+        arrived = len(self.frames) + len(self.drops) + len(self.backlog)
+        met = sum(1 for f in completions if f.met_deadline)
+        duration_s = self.duration_ticks * self.tick_s
+        # Sorting before reducing makes every statistic order-insensitive
+        # (shard merge order must not perturb float sums).
+        latencies_ms = np.sort(
+            np.array([f.latency_s for f in completions]) * 1e3
+        )
+        gaze_errors = np.sort(
+            np.array(
+                [
+                    f.gaze_error_deg
+                    for f in completions
+                    if f.gaze_error_deg is not None
+                ]
+            )
+        )
+        reasons: dict[str, int] = {}
+        for drop in self.drops:
+            reasons[drop.reason] = reasons.get(drop.reason, 0) + 1
+
+        per_client: dict[str, dict] = {}
+        client_ids = sorted(
+            {f.client_id for f in self.frames}
+            | {d.client_id for d in self.drops}
+            | set(self.backlog)
+        )
+        for cid in client_ids:
+            mine = [f for f in completions if f.client_id == cid]
+            mine_lat = np.sort(np.array([f.latency_s for f in mine]) * 1e3)
+            per_client[str(cid)] = {
+                "arrived": sum(
+                    1 for f in self.frames if f.client_id == cid
+                )
+                + sum(1 for d in self.drops if d.client_id == cid)
+                + sum(1 for b in self.backlog if b == cid),
+                "completed": len(mine),
+                "dropped": sum(1 for d in self.drops if d.client_id == cid),
+                "met_deadline": sum(1 for f in mine if f.met_deadline),
+                "mean_latency_ms": _mean(mine_lat),
+            }
+
+        return {
+            "frames": {
+                "arrived": arrived,
+                "processed": len(self.frames),
+                "completed": len(completions),
+                "bootstrap": bootstraps,
+                "dropped": len(self.drops),
+                "backlog": len(self.backlog),
+            },
+            "latency_ms": {
+                "p50": _percentile(latencies_ms, 50),
+                "p95": _percentile(latencies_ms, 95),
+                "p99": _percentile(latencies_ms, 99),
+                "mean": _mean(latencies_ms),
+                "max": float(latencies_ms[-1]) if latencies_ms.size else None,
+            },
+            "deadline_ms": self.deadline_s * 1e3,
+            "deadline_met": met,
+            "deadline_miss_rate": (
+                1.0 - met / len(completions) if completions else 0.0
+            ),
+            "goodput_fps": met / duration_s if duration_s > 0 else 0.0,
+            "drop_rate": len(self.drops) / arrived if arrived else 0.0,
+            "drops_by_reason": dict(sorted(reasons.items())),
+            "queue_depth": {
+                "max": max(self.queue_depths, default=0),
+                "mean": _mean(np.sort(np.array(self.queue_depths, float))),
+                "trace": list(self.queue_depths),
+            },
+            "gaze_error_deg": {
+                "mean": _mean(gaze_errors),
+                "p95": _percentile(gaze_errors, 95),
+            },
+            "per_client": per_client,
+        }
+
+
+def _mean(sorted_values: np.ndarray) -> float | None:
+    return float(np.mean(sorted_values)) if sorted_values.size else None
+
+
+def _percentile(sorted_values: np.ndarray, q: float) -> float | None:
+    return float(np.percentile(sorted_values, q)) if sorted_values.size else None

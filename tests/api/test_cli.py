@@ -100,6 +100,42 @@ class TestRunCommand:
         assert spec.workload == "evaluate"
 
 
+class TestServeCommand:
+    def test_serve_flags_reach_spec(self):
+        from repro.cli import _SPEC_BUILDERS
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--clients", "6",
+                "--ticks", "9",
+                "--arrival", "poisson",
+                "--deadline-policy", "best_effort",
+                "--max-batch", "3",
+            ]
+        )
+        spec = _SPEC_BUILDERS["serve"](args)
+        serve = spec.execution.serve
+        assert spec.workload == "serve"
+        assert serve.num_clients == 6
+        assert serve.duration_ticks == 9
+        assert serve.arrival == "poisson"
+        assert serve.deadline_policy == "best_effort"
+        assert serve.max_batch == 3
+
+    def test_serve_defaults_leave_batch_unbounded(self):
+        from repro.cli import _SPEC_BUILDERS
+
+        args = build_parser().parse_args(["serve"])
+        spec = _SPEC_BUILDERS["serve"](args)
+        assert spec.execution.serve.max_batch is None
+        assert args.workers == 0
+
+    def test_bad_arrival_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "bursty"])
+
+
 class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

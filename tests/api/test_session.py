@@ -161,6 +161,99 @@ class TestPersistentPool:
         assert run.stage_timings["probe"].frames == 15
 
 
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        session = Session()
+        session.executor(2)
+        session.close()
+        session.close()  # second close is a no-op, not an error
+
+    def test_run_after_close_raises_cleanly(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run({"workload": "area"})
+
+    def test_executor_after_close_raises_instead_of_reforking(self):
+        session = Session()
+        session.executor(2)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.executor(2)
+        assert session.pool_workers == 0
+
+    def test_context_manager_reuse_after_close_raises(self):
+        session = Session()
+        with session:
+            pass
+        with pytest.raises(RuntimeError, match="closed"):
+            with session:
+                pass  # pragma: no cover
+
+    def test_pool_shared_across_workload_kinds(self):
+        # One pool serves sharded evaluate, serve replicas, and a
+        # sharded strategy sweep alike — no per-workload re-forking.
+        spec = {
+            "workload": "evaluate",
+            "dataset": {"num_sequences": 4, "frames_per_sequence": 6},
+            "training": {"train_indices": [0, 1], "epochs": 1},
+            "execution": {"workers": 2},
+        }
+        with Session() as session:
+            session.run(spec)
+            assert session.stats["pools_created"] == 1
+            session.run(
+                {
+                    **spec,
+                    "workload": "serve",
+                    "execution": {
+                        "workers": 2,
+                        "serve": {"num_clients": 4, "duration_ticks": 4},
+                    },
+                }
+            )
+            assert session.stats["pools_created"] == 1
+            assert session.pool_workers == 2
+
+
+class TestNoiseOverrides:
+    def test_noise_overrides_reach_dataset_config(self):
+        from repro.api.session import system_config
+
+        spec = ExperimentSpec.from_dict(
+            {
+                "dataset": {
+                    "noise": {"read_noise_electrons": 9.0, "bit_depth": 8}
+                }
+            }
+        )
+        noise = system_config(spec).dataset.noise
+        assert noise.read_noise_electrons == 9.0
+        assert noise.bit_depth == 8
+        # Untouched fields keep the physical defaults.
+        default = system_config(ExperimentSpec.from_dict({})).dataset.noise
+        assert (
+            noise.electrons_per_second_full_scale
+            == default.electrons_per_second_full_scale
+        )
+
+    def test_noise_override_is_hash_covered_and_retrains(self, tiny_session):
+        noisy = ExperimentSpec.from_dict(
+            {
+                **TINY,
+                "dataset": {
+                    **TINY["dataset"],
+                    "noise": {"read_noise_electrons": 40.0},
+                },
+            }
+        )
+        base = ExperimentSpec.from_dict(TINY)
+        assert noisy.section_hash("dataset") != base.section_hash("dataset")
+        before = tiny_session.stats["train_cache_misses"]
+        tiny_session.run(noisy)
+        assert tiny_session.stats["train_cache_misses"] == before + 1
+
+
 class TestRunEntry:
     def test_accepts_dict(self):
         with Session() as session:

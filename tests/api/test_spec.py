@@ -27,6 +27,11 @@ def _full_spec() -> ExperimentSpec:
                 "seed": 3,
                 "eye_scale": 0.7,
                 "dynamics": "lively",
+                "noise": {
+                    "electrons_per_second_full_scale": 240000.0,
+                    "read_noise_electrons": 5.0,
+                    "bit_depth": 8,
+                },
             },
             "sensor": {
                 "compression": 12.5,
@@ -49,6 +54,16 @@ def _full_spec() -> ExperimentSpec:
                 "repeats": 2,
                 "eval_indices": [3, 4, 5],
                 "fps": 240.0,
+                "serve": {
+                    "num_clients": 8,
+                    "arrival": "poisson",
+                    "duration_ticks": 20,
+                    "deadline_policy": "best_effort",
+                    "max_batch": 4,
+                    "queue_capacity": 16,
+                    "deadline_slack_ticks": 2,
+                    "seed": 5,
+                },
             },
         }
     )
@@ -109,6 +124,54 @@ class TestValidation:
     def test_unknown_workload_lists_choices(self):
         with pytest.raises(SpecError, match="unknown workload 'bogus'"):
             ExperimentSpec.from_dict({"workload": "bogus"})
+
+    def test_nested_section_unknown_key_named_with_suggestion(self):
+        with pytest.raises(SpecError) as err:
+            ExperimentSpec.from_dict(
+                {"execution": {"serve": {"num_client": 2}}}
+            )
+        assert err.value.field == "execution.serve.num_client"
+        assert "did you mean 'num_clients'" in str(err.value)
+
+    def test_serve_enums_validated(self):
+        with pytest.raises(SpecError, match="execution.serve.arrival"):
+            ExperimentSpec.from_dict(
+                {"execution": {"serve": {"arrival": "bursty"}}}
+            )
+        with pytest.raises(
+            SpecError, match="execution.serve.deadline_policy"
+        ):
+            ExperimentSpec.from_dict(
+                {"execution": {"serve": {"deadline_policy": "maybe"}}}
+            )
+
+    def test_serve_ranges_validated(self):
+        for field, bad in (
+            ("num_clients", 0),
+            ("duration_ticks", 1),
+            ("max_batch", 0),
+            ("queue_capacity", 0),
+            ("deadline_slack_ticks", -1),
+        ):
+            with pytest.raises(SpecError, match=f"execution.serve.{field}"):
+                ExperimentSpec.from_dict(
+                    {"execution": {"serve": {field: bad}}}
+                )
+
+    def test_noise_ranges_validated(self):
+        for field, bad in (
+            ("electrons_per_second_full_scale", 0.0),
+            ("read_noise_electrons", -1.0),
+            ("bit_depth", 0),
+        ):
+            with pytest.raises(SpecError, match=f"dataset.noise.{field}"):
+                ExperimentSpec.from_dict(
+                    {"dataset": {"noise": {field: bad}}}
+                )
+
+    def test_nested_section_must_be_object(self):
+        with pytest.raises(SpecError, match="dataset.noise"):
+            ExperimentSpec.from_dict({"dataset": {"noise": 3}})
 
     def test_unknown_strategy_named_by_index(self):
         with pytest.raises(SpecError) as err:

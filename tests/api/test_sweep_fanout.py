@@ -1,0 +1,56 @@
+"""Strategy-sweep fan-out: parallel across strategies == serial sweep.
+
+Per-strategy training/RNG streams are process-independent
+(``strategy_rng`` keys them by name), so fanning the sweep out over the
+session pool must be bitwise-identical to the serial loop — this test
+pins it, and checks the cache interplay (fan-out counts trainings,
+cache hits replay in-process).
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec, Session
+
+SWEEP = {
+    "workload": "strategy_sweep",
+    "dataset": {
+        "num_sequences": 3,
+        "frames_per_sequence": 6,
+        "dynamics": "lively",
+    },
+    "strategy": {
+        "names": ["Full+Random", "ROI+DS"],
+        "train_epochs": 1,
+    },
+    "training": {"train_indices": [0, 1]},
+    "execution": {"eval_indices": [2]},
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    with Session() as serial_session:
+        serial = serial_session.run(ExperimentSpec.from_dict(SWEEP))
+    with Session() as fanned_session:
+        fanned_spec = ExperimentSpec.from_dict(
+            {**SWEEP, "execution": {**SWEEP["execution"], "workers": 2}}
+        )
+        fanned = fanned_session.run(fanned_spec)
+        stats = dict(fanned_session.stats)
+        rerun = fanned_session.run(fanned_spec)
+        stats_after = dict(fanned_session.stats)
+    return serial, fanned, rerun, stats, stats_after
+
+
+def test_fanned_sweep_bitwise_identical_to_serial(results):
+    serial, fanned, _, _, _ = results
+    assert fanned.metrics == serial.metrics
+
+
+def test_fanout_counts_trainings_and_caches_them(results):
+    _, fanned, rerun, stats, stats_after = results
+    assert stats["train_cache_misses"] == 2  # one per fanned strategy
+    # The cached triples replay in-process, bitwise.
+    assert stats_after["train_cache_misses"] == 2
+    assert stats_after["train_cache_hits"] >= stats["train_cache_hits"] + 2
+    assert rerun.metrics == fanned.metrics
