@@ -87,9 +87,20 @@ def system_config(spec: ExperimentSpec):
         compression=spec.sensor.compression,
         roi_margin_px=spec.sensor.roi_margin_px,
     )
-    if spec.training.epochs is not None:
+    # Like every other training field, ``None`` keeps the preset's value
+    # — only explicitly-set schedule knobs override the config.
+    joint_overrides = {
+        name: value
+        for name, value in (
+            ("epochs", spec.training.epochs),
+            ("batch_size", spec.training.batch_size),
+            ("grad_accum", spec.training.grad_accum),
+        )
+        if value is not None
+    }
+    if joint_overrides:
         config = replace(
-            config, joint=replace(config.joint, epochs=spec.training.epochs)
+            config, joint=replace(config.joint, **joint_overrides)
         )
     return config
 
@@ -169,10 +180,14 @@ class Session:
         """A *trained* pipeline for the spec, memoized by its
         training-relevant inputs: the dataset and training sections plus
         the sensor fields baked into ``SystemConfig`` (compression, ROI
-        margin).  Eval-time knobs (``sensor_seed``, ``reuse_window``,
-        the whole execution section) deliberately stay out of the key —
-        specs differing only in those share one joint training and the
-        calibrated sensor templates cached inside the pipeline."""
+        margin).  The training section hash now covers the training
+        schedule too (``batch_size``, ``grad_accum``), so overriding
+        either retrains.  Eval-time knobs (``sensor_seed``,
+        ``reuse_window``, the whole execution section — including
+        ``workers``, which is bitwise-neutral for training) deliberately
+        stay out of the key — specs differing only in those share one
+        joint training and the calibrated sensor templates cached inside
+        the pipeline."""
         key = (
             "pipeline",
             spec.section_hash("dataset", "training"),
@@ -181,9 +196,25 @@ class Session:
         )
 
         def _train() -> BlissCamPipeline:
-            pipeline = BlissCamPipeline(system_config(spec))
+            config = system_config(spec)
+            pipeline = BlissCamPipeline(config)
             indices = spec.training.train_indices
-            pipeline.train(list(indices) if indices is not None else None)
+            workers = spec.execution.workers
+            # Sharded training needs the data-parallel schedule; the
+            # stepped schedule always trains in-process (workers only
+            # accelerate evaluation there).  Either way the result is
+            # independent of the worker count.
+            if config.joint.grad_accum and workers >= 2:
+                shard_kwargs = {
+                    "workers": workers,
+                    "executor": self.executor(workers),
+                }
+            else:
+                shard_kwargs = {}
+            pipeline.train(
+                list(indices) if indices is not None else None,
+                **shard_kwargs,
+            )
             return pipeline
 
         return self.memo(key, _train)

@@ -133,12 +133,31 @@ class StrategySection:
 
 @dataclass(frozen=True)
 class TrainingSection:
-    """Joint training of the ROI predictor + sparse ViT."""
+    """Joint training of the ROI predictor + sparse ViT.
+
+    ``batch_size`` and ``grad_accum`` select the training *schedule*
+    (see ``docs/training.md``); both are semantic knobs, covered by the
+    training section hash, so overriding them retrains.  The worker
+    count stays in the execution section: with ``grad_accum`` on,
+    ``execution.workers >= 2`` shards the per-sequence gradient passes
+    with bitwise-identical results for any worker count.
+    """
 
     #: Joint-training epochs; ``None`` keeps the dataset preset's.
     epochs: int | None = None
     #: Training sequence indices; ``None`` uses ``dataset.split()``.
     train_indices: tuple[int, ...] | None = None
+    #: Frame pairs per training rank *and* per Adam step; ``None`` keeps
+    #: the preset's (1).  1 is the paper-faithful per-frame stepping
+    #: (bitwise-pinned against the historical loop); > 1 runs each
+    #: minibatch as one vectorized rank with one Adam step per minibatch
+    #: — a documented semantic change.
+    batch_size: int | None = None
+    #: The data-parallel schedule (``None`` keeps the preset's, False):
+    #: gradients accumulate over every rank of an epoch (reduced in
+    #: fixed sequence order) and each epoch takes one Adam step.
+    #: Required for sharded training.
+    grad_accum: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -362,6 +381,8 @@ class ExperimentSpec:
         t = self.training
         if t.epochs is not None:
             _require("training.epochs", t.epochs >= 1, ">= 1")
+        if t.batch_size is not None:
+            _require("training.batch_size", t.batch_size >= 1, ">= 1")
         num_sequences = (
             d.num_sequences
             if d.num_sequences is not None

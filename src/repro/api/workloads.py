@@ -98,6 +98,20 @@ def run_evaluate(session: Session, spec: ExperimentSpec) -> RunResult:
         ),
         "within_one_degree": result.within_one_degree,
     }
+    train_result = pipeline.train_result
+    if train_result is not None:
+        # The joint-training trajectory (the CI training smoke asserts
+        # it): which schedule ran (the *effective* config values — spec
+        # nulls keep the preset's) and what the losses did, epoch by
+        # epoch.  Memoized pipelines report the trajectory of the run
+        # that trained them.
+        metrics["training"] = {
+            "batch_size": pipeline.config.joint.batch_size,
+            "grad_accum": pipeline.config.joint.grad_accum,
+            "seg_losses": list(train_result.seg_losses),
+            "roi_losses": list(train_result.roi_losses),
+            "improved": train_result.improved,
+        }
     table = Table(["metric", "value"], title="evaluation results")
     table.add_row("horizontal error (deg)", round(result.horizontal.mean, 2))
     table.add_row("vertical error (deg)", round(result.vertical.mean, 2))

@@ -3,7 +3,9 @@
 Commands
 --------
 ``run``          execute a declarative experiment spec (JSON file)
-``quickstart``   train + evaluate the end-to-end pipeline (CI scale)
+``quickstart``   train + evaluate the end-to-end pipeline (CI scale;
+                 ``--train-batch-size``/``--grad-accum`` select the
+                 training-runtime schedule, see docs/training.md)
 ``serve``        streaming multi-client serving with cross-client
                  micro-batching (``--workers N`` partitions the fleet
                  into scheduler replicas; see docs/serving.md)
@@ -44,7 +46,17 @@ def _spec_run(args: argparse.Namespace) -> ExperimentSpec:
 
 
 def _spec_quickstart(args: argparse.Namespace) -> ExperimentSpec:
-    return ExperimentSpec.from_dict({"workload": "evaluate"})
+    training: dict = {}
+    # None = flag not passed (keep the preset's value); an explicit
+    # `--train-batch-size 1` is a real override, not a no-op.
+    if args.train_batch_size is not None:
+        training["batch_size"] = args.train_batch_size
+    if args.grad_accum:
+        training["grad_accum"] = True
+    spec: dict = {"workload": "evaluate"}
+    if training:
+        spec["training"] = training
+    return ExperimentSpec.from_dict(spec)
 
 
 def _spec_serve(args: argparse.Namespace) -> ExperimentSpec:
@@ -168,6 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
                 "(0/1 = one scheduler)",
             )
             continue
+        if name == "quickstart":
+            cmd.add_argument(
+                "--train-batch-size", type=int, default=None,
+                help="frame pairs per training rank / Adam step (default: "
+                "the preset's, 1 — the paper-faithful per-frame stepping; "
+                "> 1 batches the joint training, a documented semantic "
+                "change)",
+            )
+            cmd.add_argument(
+                "--grad-accum", action="store_true",
+                help="data-parallel training schedule: accumulate each "
+                "epoch's gradients (fixed reduction order) and take one "
+                "Adam step per epoch",
+            )
         cmd.add_argument("--fps", type=float, default=120.0)
         if name == "throughput":
             cmd.add_argument(

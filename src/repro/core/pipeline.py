@@ -187,14 +187,31 @@ class BlissCamPipeline:
         self._sensor_templates: dict[int, BlissCamSensor] = {}
 
     # -- training ------------------------------------------------------------
-    def train(self, train_indices: list[int] | None = None) -> JointTrainResult:
-        """Joint training (Sec. III-C) + gaze calibration."""
+    def train(
+        self,
+        train_indices: list[int] | None = None,
+        workers: int | None = None,
+        executor=None,
+    ) -> JointTrainResult:
+        """Joint training (Sec. III-C) + gaze calibration.
+
+        Runs on the batched training runtime
+        (:class:`~repro.training.runtime.TrainRunner`):
+        ``config.joint.batch_size`` sets the rank width / step
+        granularity and ``config.joint.grad_accum`` selects the
+        data-parallel epoch schedule, which ``workers >= 2`` shards over
+        worker processes (``executor`` reuses an existing pool, e.g. a
+        ``repro.api.Session``'s) with bitwise-identical results for any
+        worker count.
+        """
         if train_indices is None:
             train_indices, _ = self.dataset.split()
         trainer = JointTrainer(
             self.roi_predictor, self.segmenter, self.config.joint, self.rng
         )
-        self._train_result = trainer.train(self.dataset, train_indices)
+        self._train_result = trainer.train(
+            self.dataset, train_indices, workers=workers, executor=executor
+        )
         # Calibrate the gaze regression on ground-truth maps (per-user
         # calibration in a real system).
         segs, gazes = [], []

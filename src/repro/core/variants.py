@@ -97,8 +97,14 @@ def train_for_strategy(
     epochs: int,
     rng: np.random.Generator,
     lr: float = 3e-3,
+    batch_size: int = 4,
 ):
     """Train ``segmenter`` on frames sampled by ``strategy``.
+
+    Executes on the training runtime
+    (:func:`repro.training.runtime.run_segmentation_epochs` via
+    :func:`train_segmentation`): each ``batch_size`` minibatch is one
+    model rank, exactly as the historical loop ran it.
 
     Stochastic strategies draw a *fresh* mask every epoch — the same
     regime as the real sensor, whose SRAM RNG resamples each frame.  This
@@ -121,7 +127,8 @@ def train_for_strategy(
         if not samples:
             raise ValueError("strategy produced no training samples")
         epoch_result = train_segmentation(
-            segmenter, samples, epochs=1, rng=rng, lr=lr
+            segmenter, samples, epochs=1, rng=rng, lr=lr,
+            batch_size=batch_size,
         )
         if result is None:
             result = epoch_result

@@ -26,6 +26,7 @@ from repro.engine.runner import (
     EngineRun,
     SequenceRunner,
     StageTiming,
+    contiguous_shards,
     shard_executor,
 )
 from repro.engine.stage import Stage, StageGraph
@@ -51,6 +52,7 @@ __all__ = [
     "SequenceRunner",
     "EngineRun",
     "StageTiming",
+    "contiguous_shards",
     "shard_executor",
     "EventifyStage",
     "ROIPredictStage",

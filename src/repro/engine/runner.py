@@ -43,7 +43,13 @@ import numpy as np
 from repro.engine.context import FrameContext, SequenceState
 from repro.engine.stage import StageGraph
 
-__all__ = ["SequenceRunner", "EngineRun", "StageTiming", "shard_executor"]
+__all__ = [
+    "SequenceRunner",
+    "EngineRun",
+    "StageTiming",
+    "shard_executor",
+    "contiguous_shards",
+]
 
 #: Shard oversubscription when an external (persistent) executor runs the
 #: shards: cutting the rank into ``workers * STEAL_FACTOR`` pieces lets an
@@ -115,6 +121,20 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-posix platforms
         return multiprocessing.get_context()
+
+
+def contiguous_shards(items: list, n_shards: int) -> list[list]:
+    """Cut ``items`` into up to ``n_shards`` contiguous balanced pieces.
+
+    Empty pieces are dropped; concatenating the shards in order
+    reproduces ``items`` exactly — the property every fixed-order merge
+    in the repository relies on (the engine's sequence-rank sharding
+    below and the training runtime's per-sequence gradient reduction).
+    """
+    bounds = np.linspace(0, len(items), n_shards + 1).astype(int)
+    return [
+        items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
 
 
 def shard_executor(max_workers: int) -> ProcessPoolExecutor:
@@ -259,12 +279,7 @@ class SequenceRunner:
         n_shards = (
             min(len(sequences), workers * STEAL_FACTOR) if executor else workers
         )
-        bounds = np.linspace(0, len(sequences), n_shards + 1).astype(int)
-        shards = [
-            sequences[lo:hi]
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
-        ]
+        shards = contiguous_shards(sequences, n_shards)
         if executor is not None:
             # submit() preserves shard order through the futures list while
             # letting the pool hand the next pending shard to whichever

@@ -21,6 +21,8 @@ __all__ = [
     "one_hot",
     "patchify",
     "unpatchify",
+    "grey_dilation",
+    "grey_erosion",
 ]
 
 
@@ -160,6 +162,39 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     out = np.zeros((flat.size, num_classes), dtype=np.float64)
     out[np.arange(flat.size), flat] = 1.0
     return out.reshape(*labels.shape, num_classes)
+
+
+def _morphology_windows(x: np.ndarray, size: int) -> np.ndarray:
+    """Sliding ``size x size`` windows of a 2-D array, edge-padded.
+
+    Shared plumbing of :func:`grey_dilation` / :func:`grey_erosion`.
+    Edge replication keeps border maxima/minima inside the value range of
+    the input (a reflect pad would too; the choice only affects a
+    ``size // 2`` border band).
+    """
+    if x.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {x.shape}")
+    if size < 1 or size % 2 == 0:
+        raise ValueError(f"window size must be a positive odd integer: {size}")
+    pad = size // 2
+    padded = np.pad(x, pad, mode="edge")
+    return np.lib.stride_tricks.sliding_window_view(padded, (size, size))
+
+
+def grey_dilation(x: np.ndarray, size: int) -> np.ndarray:
+    """Greyscale dilation: moving maximum over a ``size x size`` window.
+
+    A minimal numpy replacement for ``scipy.ndimage.grey_dilation`` with a
+    flat square structuring element — used by the joint-training cue
+    augmentation so the training hot path carries no scipy dependency
+    (scipy remains an *optional* extra for the offline noise analysis).
+    """
+    return _morphology_windows(x, size).max(axis=(-2, -1))
+
+
+def grey_erosion(x: np.ndarray, size: int) -> np.ndarray:
+    """Greyscale erosion: moving minimum over a ``size x size`` window."""
+    return _morphology_windows(x, size).min(axis=(-2, -1))
 
 
 def patchify(x: np.ndarray, patch: int) -> np.ndarray:

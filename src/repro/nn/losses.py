@@ -8,6 +8,14 @@
 
 Both expose ``forward(pred, target, mask=None) -> float`` and ``backward()``
 returning the gradient with respect to the prediction.
+
+The ``mask`` parameter is the reduction seam the batched training
+runtime (:mod:`repro.training.runtime`) builds on: a per-row weight
+broadcast over the prediction restricts both the loss and the gradient
+to chosen positions — per-pixel sampling masks for the segmentation
+term, per-*sample* supervision flags for the ROI term (blink frames get
+zero-weight rows, so one batched ``forward`` handles mixed
+supervised/unsupervised minibatches exactly as the per-frame loop did).
 """
 
 from __future__ import annotations

@@ -49,6 +49,23 @@ class Parameter:
     def zero_grad(self) -> None:
         self.grad[...] = 0.0
 
+    def __getstate__(self) -> dict:
+        """Pickle without the gradient buffer.
+
+        Parameters travel across process boundaries constantly — the
+        engine ships whole stage graphs to shard workers, the training
+        runtime ships epoch-start weights every epoch — and no consumer
+        reads a *shipped* gradient (workers zero or overwrite it, and
+        gradient results return as plain arrays).  Dropping ``grad``
+        halves every such payload.
+        """
+        return {"data": self.data, "name": self.name}
+
+    def __setstate__(self, state: dict) -> None:
+        self.data = state["data"]
+        self.name = state["name"]
+        self.grad = np.zeros_like(self.data)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Parameter(name={self.name!r}, shape={self.data.shape})"
 

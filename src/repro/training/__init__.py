@@ -1,5 +1,9 @@
 """Training procedures: generic segmentation training and the paper's
-joint ROI + ViT procedure with approximate differentiable sampling."""
+joint ROI + ViT procedure with approximate differentiable sampling.
+
+Execution lives in :mod:`repro.training.runtime` — the batched-rank
+:class:`TrainRunner` behind :class:`JointTrainer` and
+:func:`train_segmentation` (see ``docs/training.md``)."""
 
 from repro.training.joint import (
     JointTrainConfig,
@@ -8,6 +12,13 @@ from repro.training.joint import (
     SoftROIMask,
 )
 from repro.training.loop import TrainResult, batched, train_segmentation
+from repro.training.runtime import (
+    TRAIN_STREAM_TAG,
+    TrainRunner,
+    TrainSample,
+    collect_frame_pairs,
+    sample_stream,
+)
 
 __all__ = [
     "TrainResult",
@@ -17,4 +28,9 @@ __all__ = [
     "JointTrainer",
     "JointTrainConfig",
     "JointTrainResult",
+    "TrainRunner",
+    "TrainSample",
+    "TRAIN_STREAM_TAG",
+    "collect_frame_pairs",
+    "sample_stream",
 ]

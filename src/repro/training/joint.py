@@ -17,6 +17,13 @@ analytically to the four box coordinates.
 Gradient masking (the paper's explicit rule): only gradients at pixels
 *selected by the random sampling* flow back into the ROI predictor; the
 Bernoulli mask multiplies the chain, zeroing everything else.
+
+Execution lives in :mod:`repro.training.runtime`: :class:`JointTrainer`
+is the classic front (build the losses/optimizers once, call
+:meth:`JointTrainer.train`), but the per-frame stepping loop it used to
+carry was retired in favour of the batched-rank :class:`~repro.training.
+runtime.TrainRunner`, which also runs minibatched (``batch_size > 1``)
+and sharded (``grad_accum`` + ``workers >= 2``) schedules.
 """
 
 from __future__ import annotations
@@ -25,10 +32,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nn import Adam, CrossEntropyLoss, MSELoss, clip_grad_norm
-from repro.sampling.eventification import eventify
-from repro.sampling.random_sampling import random_mask_in_box
-from repro.sampling.roi import ROIPredictor, box_from_pixels, box_to_pixels
+from repro.nn import Adam, CrossEntropyLoss, MSELoss
+from repro.sampling.roi import ROIPredictor
 from repro.segmentation.vit import ViTSegmenter
 from repro.synth.dataset import SyntheticEyeDataset
 
@@ -43,6 +48,12 @@ class SoftROIMask:
     logistic function and ``tau`` the edge softness.  As ``tau -> 0`` this
     approaches the hard box indicator; gradients w.r.t. the box corners
     are analytic.
+
+    :meth:`forward`/:meth:`backward` handle one box; the training
+    runtime's batched ranks use :meth:`forward_batch`/
+    :meth:`backward_batch` over ``(B, 4)`` boxes — elementwise over the
+    stacked batch, so each row's mask and gradient are bitwise identical
+    to the scalar methods (pinned by the batch-invariance tests).
     """
 
     def __init__(self, height: int, width: int, tau: float = 0.05):
@@ -93,6 +104,59 @@ class SoftROIMask:
             ]
         )
 
+    def forward_batch(self, boxes: np.ndarray) -> np.ndarray:
+        """Boxes ``(B, 4)`` -> soft masks ``(B, H, W)`` in one rank.
+
+        Every operation is elementwise over the stacked batch (broadcast
+        subtraction, the piecewise sigmoid, per-row outer products), so
+        row ``b`` equals ``forward(boxes[b])`` bitwise.
+        """
+        r0 = boxes[:, 0:1]
+        c0 = boxes[:, 1:2]
+        r1 = boxes[:, 2:3]
+        c1 = boxes[:, 3:4]
+        tau = self.tau
+        self._b_sr0 = self._sigmoid((self._rows[None, :] - r0) / tau)  # (B, H)
+        self._b_sr1 = self._sigmoid((r1 - self._rows[None, :]) / tau)
+        self._b_sc0 = self._sigmoid((self._cols[None, :] - c0) / tau)  # (B, W)
+        self._b_sc1 = self._sigmoid((c1 - self._cols[None, :]) / tau)
+        self._b_row = self._b_sr0 * self._b_sr1  # (B, H)
+        self._b_col = self._b_sc0 * self._b_sc1  # (B, W)
+        return self._b_row[:, :, None] * self._b_col[:, None, :]
+
+    def backward_batch(self, grad_masks: np.ndarray) -> np.ndarray:
+        """Mask gradients ``(B, H, W)`` -> box gradients ``(B, 4)``.
+
+        The per-sample reductions (mask @ col_term, the edge sums) run as
+        stacked matvecs / per-row sums with the same inner shapes as
+        :meth:`backward`, so each row is bitwise-equal to the scalar path.
+        """
+        tau = self.tau
+        d_sr0 = -self._b_sr0 * (1 - self._b_sr0) / tau
+        d_sr1 = self._b_sr1 * (1 - self._b_sr1) / tau
+        d_sc0 = -self._b_sc0 * (1 - self._b_sc0) / tau
+        d_sc1 = self._b_sc1 * (1 - self._b_sc1) / tau
+        # (B, H, W) @ (B, W, 1) -> (B, H): one matvec per sample, same
+        # inner shape as the scalar backward's `grad_mask @ col_term`.
+        row_dot = np.matmul(grad_masks, self._b_col[:, :, None])[:, :, 0]
+        col_dot = np.matmul(
+            grad_masks.transpose(0, 2, 1), self._b_row[:, :, None]
+        )[:, :, 0]
+        return np.stack(
+            [
+                np.sum(row_dot * d_sr0 * self._b_sr1, axis=1),
+                np.sum(col_dot * d_sc0 * self._b_sc1, axis=1),
+                np.sum(row_dot * d_sr1 * self._b_sr0, axis=1),
+                np.sum(col_dot * d_sc1 * self._b_sc0, axis=1),
+            ],
+            axis=1,
+        )
+
+
+def _check(field_name: str, ok: bool, constraint: str) -> None:
+    if not ok:
+        raise ValueError(f"joint.{field_name}: must be {constraint}")
+
 
 @dataclass(frozen=True)
 class JointTrainConfig:
@@ -101,6 +165,10 @@ class JointTrainConfig:
     The paper trains segmentation for 250 epochs at batch size 4 and the
     ROI network for 100 epochs at batch size 8; the defaults here are CI
     scale and flow through identical code.
+
+    Validation is eager and names the bad field (``joint.epochs: must be
+    >= 1``), mirroring the spec's error style, so a bad config fails at
+    construction rather than deep inside an epoch.
     """
 
     epochs: int = 2
@@ -129,6 +197,36 @@ class JointTrainConfig:
     #: map for the tight extent.
     cue_dilate_prob: float = 0.5
     cue_dilate_max_px: int = 4
+    #: Frame pairs per training rank *and* per optimizer step.  1 is the
+    #: paper-faithful per-frame stepping; > 1 runs each minibatch as one
+    #: vectorized rank with one Adam step per minibatch — a documented
+    #: semantic change (see ``docs/training.md``).
+    batch_size: int = 1
+    #: Switch to the data-parallel schedule: gradients accumulate over
+    #: every rank of an epoch (reduced per sequence, in fixed sequence
+    #: order) and each epoch takes *one* Adam step.  Required for
+    #: sharded training (``workers >= 2``); the worker count itself
+    #: never changes the result.
+    grad_accum: bool = False
+
+    def __post_init__(self):
+        _check("epochs", self.epochs >= 1, ">= 1")
+        _check("lr_segmenter", self.lr_segmenter > 0, "> 0")
+        _check("lr_roi", self.lr_roi > 0, "> 0")
+        _check(
+            "roi_sampling_rate",
+            0.0 < self.roi_sampling_rate <= 1.0,
+            "in (0, 1]",
+        )
+        _check("seg_to_roi_weight", self.seg_to_roi_weight >= 0, ">= 0")
+        _check("grad_clip", self.grad_clip > 0, "> 0")
+        _check("tau", self.tau > 0, "> 0")
+        _check("cue_dropout", 0.0 <= self.cue_dropout <= 1.0, "in [0, 1]")
+        _check(
+            "cue_dilate_prob", 0.0 <= self.cue_dilate_prob <= 1.0, "in [0, 1]"
+        )
+        _check("cue_dilate_max_px", self.cue_dilate_max_px >= 1, ">= 1")
+        _check("batch_size", self.batch_size >= 1, ">= 1")
 
 
 @dataclass
@@ -138,14 +236,33 @@ class JointTrainResult:
 
     @property
     def improved(self) -> bool:
-        return (
-            len(self.seg_losses) >= 2
-            and self.seg_losses[-1] < self.seg_losses[0]
+        """Whether the *joint* procedure made progress.
+
+        Both trajectories count: the segmentation loss must have dropped
+        and the ROI regression loss must not have regressed — a run that
+        trades ROI accuracy for segmentation gains is not an improvement
+        of the joint objective (the box feeds the sampler that the
+        segmenter depends on at run time).
+        """
+        if len(self.seg_losses) < 2:
+            return False
+        seg_improved = self.seg_losses[-1] < self.seg_losses[0]
+        roi_held = (
+            len(self.roi_losses) < 2
+            or self.roi_losses[-1] <= self.roi_losses[0]
         )
+        return seg_improved and roi_held
 
 
 class JointTrainer:
-    """Trains the ROI predictor and sparse ViT end to end."""
+    """Trains the ROI predictor and sparse ViT end to end.
+
+    A thin front over :class:`repro.training.runtime.TrainRunner`: this
+    class owns the losses, optimizers and soft mask (so callers can
+    inspect or substitute them before training) and delegates execution
+    — minibatch formation, the batched rank kernels, the optimizer
+    schedule and optional sharding — to the runtime.
+    """
 
     def __init__(
         self,
@@ -166,115 +283,35 @@ class JointTrainer:
             segmenter.config.height, segmenter.config.width, tau=config.tau
         )
 
-    def _dilate_cue(self, seg: np.ndarray) -> np.ndarray:
-        """Randomly inflate or shrink the cue's foreground (augmentation).
-
-        Symmetric corruption makes the cue's *area* uninformative about
-        the true box, forcing the predictor to take the extent from the
-        event map and use the cue only for coarse localization.
-        """
-        from scipy.ndimage import grey_dilation, grey_erosion
-
-        radius = int(self.rng.integers(1, self.config.cue_dilate_max_px + 1))
-        size = 2 * radius + 1
-        if self.rng.random() < 0.5:
-            return grey_dilation(seg, size=(size, size))
-        return grey_erosion(seg, size=(size, size))
-
-    def _train_step(
-        self,
-        prev_frame: np.ndarray,
-        frame: np.ndarray,
-        prev_seg: np.ndarray | None,
-        target_seg: np.ndarray,
-        gt_box: np.ndarray | None,
-    ) -> tuple[float, float]:
-        """One frame pair through the full joint pipeline; returns losses."""
-        cfg = self.config
-        height, width = frame.shape
-
-        # -- in-sensor stages -------------------------------------------------
-        event_map = eventify(prev_frame, frame)
-        if cfg.cue_dropout and self.rng.random() < cfg.cue_dropout:
-            prev_seg = None
-        elif (
-            prev_seg is not None
-            and cfg.cue_dilate_prob
-            and self.rng.random() < cfg.cue_dilate_prob
-        ):
-            prev_seg = self._dilate_cue(prev_seg)
-        roi_in = ROIPredictor.make_input(event_map, prev_seg)
-        box_pred = self.roi_predictor(roi_in)  # (1, 4), sigmoid-activated
-
-        # ROI regression loss against the ground-truth foreground box.
-        if gt_box is not None:
-            gt_norm = box_from_pixels(gt_box, height, width)[None]
-            roi_loss_val = self.roi_loss.forward(box_pred, gt_norm)
-            grad_box_mse = self.roi_loss.backward()
-        else:  # fully occluded frame (blink): no box supervision
-            roi_loss_val = 0.0
-            grad_box_mse = np.zeros_like(box_pred)
-
-        # Hard sampling for the forward pass (what the sensor actually does).
-        pixel_box = box_to_pixels(box_pred[0], height, width)
-        bern = random_mask_in_box(
-            frame.shape, pixel_box, cfg.roi_sampling_rate, self.rng
-        )
-
-        # Soft relaxation for the backward path through sampling.
-        soft = self.soft_mask.forward(box_pred[0])
-        eff_mask = bern * soft
-        sparse = frame * eff_mask
-
-        # -- off-sensor segmentation ------------------------------------------
-        logits = self.segmenter(sparse[None], eff_mask[None])
-        seg_loss_val = self.seg_loss.forward(logits, target_seg[None])
-        grad_logits = self.seg_loss.backward()
-
-        self.segmenter.zero_grad()
-        grad_pix, grad_bit = self.segmenter.backward_to_input(grad_logits)
-
-        # Chain rule into the soft mask, gradient-masked to sampled pixels
-        # (the paper's explicit masking rule): bern zeroes unsampled pixels.
-        grad_soft = (grad_pix[0] * frame + grad_bit[0]) * bern
-        grad_box_seg = self.soft_mask.backward(grad_soft)
-
-        # -- updates ---------------------------------------------------------------
-        total_grad_box = grad_box_mse + cfg.seg_to_roi_weight * grad_box_seg[None]
-        self.roi_predictor.zero_grad()
-        self.roi_predictor.backward(total_grad_box)
-        clip_grad_norm(self.roi_predictor.parameters(), cfg.grad_clip)
-        clip_grad_norm(self.segmenter.parameters(), cfg.grad_clip)
-        self.opt_roi.step()
-        self.opt_seg.step()
-        return seg_loss_val, float(roi_loss_val)
-
     def train(
-        self, dataset: SyntheticEyeDataset, sequence_indices: list[int]
+        self,
+        dataset: SyntheticEyeDataset,
+        sequence_indices: list[int],
+        workers: int | None = None,
+        executor=None,
     ) -> JointTrainResult:
-        """Run ``config.epochs`` passes over the given sequences."""
-        result = JointTrainResult()
-        self.segmenter.train()
-        self.roi_predictor.train()
-        for _ in range(self.config.epochs):
-            seg_total, roi_total, steps = 0.0, 0.0, 0
-            for seq_index in sequence_indices:
-                seq = dataset[seq_index]
-                for t in range(1, len(seq)):
-                    # Teacher forcing: the previous frame's ground-truth
-                    # segmentation stands in for the host's fed-back map.
-                    seg_l, roi_l = self._train_step(
-                        prev_frame=seq.frames[t - 1],
-                        frame=seq.frames[t],
-                        prev_seg=seq.segmentations[t - 1],
-                        target_seg=seq.segmentations[t],
-                        gt_box=seq.roi_boxes[t],
-                    )
-                    seg_total += seg_l
-                    roi_total += roi_l
-                    steps += 1
-            result.seg_losses.append(seg_total / max(steps, 1))
-            result.roi_losses.append(roi_total / max(steps, 1))
-        self.segmenter.eval()
-        self.roi_predictor.eval()
-        return result
+        """Run ``config.epochs`` passes over the given sequences.
+
+        ``workers >= 2`` shards the epoch's per-sequence gradient passes
+        over worker processes (requires ``config.grad_accum``; see
+        :meth:`repro.training.runtime.TrainRunner.run`); ``executor``
+        reuses an existing pool (e.g. a ``repro.api.Session``'s).
+        """
+        # Imported here: the runtime imports this module for the config/
+        # result/soft-mask types.
+        from repro.training.runtime import TrainRunner
+
+        runner = TrainRunner(
+            self.roi_predictor,
+            self.segmenter,
+            self.config,
+            self.rng,
+            seg_loss=self.seg_loss,
+            roi_loss=self.roi_loss,
+            opt_seg=self.opt_seg,
+            opt_roi=self.opt_roi,
+            soft_mask=self.soft_mask,
+        )
+        return runner.run(
+            dataset, sequence_indices, workers=workers, executor=executor
+        )

@@ -138,3 +138,57 @@ class TestOneHotAndGelu:
     def test_sigmoid_stable_at_extremes(self):
         out = F.sigmoid(np.array([-1000.0, 1000.0]))
         assert out[0] == 0.0 and out[1] == 1.0
+
+
+class TestGreyMorphology:
+    """The numpy morphology helpers replacing scipy on the training path."""
+
+    def test_dilation_is_window_max(self):
+        x = np.zeros((7, 7))
+        x[3, 3] = 5.0
+        out = F.grey_dilation(x, 3)
+        assert out.shape == x.shape
+        assert np.all(out[2:5, 2:5] == 5.0)
+        assert np.all(out[0] == 0.0)
+
+    def test_erosion_is_window_min(self):
+        x = np.full((7, 7), 5.0)
+        x[3, 3] = 1.0
+        out = F.grey_erosion(x, 3)
+        assert np.all(out[2:5, 2:5] == 1.0)
+        assert np.all(out[0] == 5.0)
+
+    def test_dilation_erosion_are_order_duals(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 4, size=(12, 12)).astype(float)
+        assert np.array_equal(F.grey_erosion(x, 5), -F.grey_dilation(-x, 5))
+
+    def test_interior_matches_scipy_when_available(self):
+        scipy_ndimage = pytest.importorskip("scipy.ndimage")
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 4, size=(16, 16)).astype(float)
+        for size in (3, 5):
+            pad = size // 2
+            ours = F.grey_dilation(x, size)
+            theirs = scipy_ndimage.grey_dilation(x, size=(size, size))
+            # Border handling differs (edge vs reflect pad); the interior
+            # — everything the cue augmentation cares about — is exact.
+            assert np.array_equal(
+                ours[pad:-pad, pad:-pad], theirs[pad:-pad, pad:-pad]
+            )
+            assert np.array_equal(
+                F.grey_erosion(x, size)[pad:-pad, pad:-pad],
+                scipy_ndimage.grey_erosion(x, size=(size, size))[
+                    pad:-pad, pad:-pad
+                ],
+            )
+
+    def test_even_or_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError):
+            F.grey_dilation(np.zeros((4, 4)), 2)
+        with pytest.raises(ValueError):
+            F.grey_erosion(np.zeros((4, 4)), 0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            F.grey_dilation(np.zeros((4, 4, 4)), 3)

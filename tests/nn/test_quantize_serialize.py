@@ -108,3 +108,24 @@ class TestSerialization:
     def test_num_parameters(self):
         model = nn.Linear(10, 5, RNG)
         assert model.num_parameters() == 10 * 5 + 5
+
+
+class TestParameterPickle:
+    def test_grad_is_stripped_and_restored_as_zeros(self):
+        # Parameters ship across process boundaries constantly (engine
+        # shard workers, training epoch tasks); no consumer reads a
+        # shipped gradient, so pickling drops it and unpickling restores
+        # a fresh zero buffer of the right shape.
+        import pickle
+
+        import numpy as np
+
+        from repro.nn.module import Parameter
+
+        param = Parameter(np.arange(6.0).reshape(2, 3), name="w")
+        param.grad[...] = 5.0
+        clone = pickle.loads(pickle.dumps(param))
+        assert np.array_equal(clone.data, param.data)
+        assert clone.name == "w"
+        assert clone.grad.shape == param.data.shape
+        assert np.all(clone.grad == 0.0)

@@ -1,0 +1,389 @@
+"""Pins for the batched + sharded training runtime (the PR's contract).
+
+* ``batch_size=1`` reproduces the retired per-frame stepping **bitwise**
+  — against a transcription of the historical ``JointTrainer._train_step``
+  loop under the runtime's per-sample stream semantics (the PR 1/2
+  convention for deliberately redefined RNG streams);
+* the deterministic sub-kernels (vectorized eventification, the batched
+  soft ROI mask) are bitwise batch-invariant;
+* the data-parallel schedule (``grad_accum=True``) is bitwise-identical
+  between in-process accumulation and any sharded worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CrossEntropyLoss, MSELoss, clip_grad_norm
+from repro.nn.functional import grey_dilation, grey_erosion
+from repro.sampling import ROIPredictor
+from repro.sampling.eventification import eventify
+from repro.sampling.random_sampling import random_mask_in_box
+from repro.sampling.roi import box_from_pixels, box_to_pixels
+from repro.segmentation import ViTConfig, ViTSegmenter
+from repro.synth import DatasetConfig, SyntheticEyeDataset
+from repro.training import (
+    JointTrainConfig,
+    JointTrainer,
+    SoftROIMask,
+    TrainRunner,
+    sample_stream,
+)
+
+SIZE = 32
+SEED_RNG = 42
+
+
+def tiny_components():
+    rng = np.random.default_rng(1)
+    roi = ROIPredictor(SIZE, SIZE, rng, base_channels=2)
+    vit = ViTSegmenter(
+        ViTConfig(height=SIZE, width=SIZE, patch=8, dim=24, heads=3,
+                  depth=1, decoder_depth=1),
+        rng,
+    )
+    return roi, vit
+
+
+def tiny_dataset(num_sequences=2, frames=5):
+    return SyntheticEyeDataset(
+        DatasetConfig(
+            height=SIZE,
+            width=SIZE,
+            frames_per_sequence=frames,
+            num_sequences=num_sequences,
+        )
+    )
+
+
+def reference_joint_train(roi, vit, cfg, dataset, indices, seed):
+    """Transcription of the retired per-frame ``_train_step`` loop.
+
+    Identical to the pre-runtime ``JointTrainer`` except for the stream
+    semantics the runtime defines: each (epoch, sequence, frame) sample
+    draws from its own :func:`sample_stream` instead of one serial
+    generator, and the cue morphology is the numpy helper.  Everything
+    else — scalar kernels, per-frame Adam steps, loss accounting — is
+    the historical loop verbatim.
+    """
+    seg_loss = CrossEntropyLoss()
+    roi_loss = MSELoss()
+    opt_seg = Adam(vit.parameters(), lr=cfg.lr_segmenter)
+    opt_roi = Adam(roi.parameters(), lr=cfg.lr_roi)
+    soft_mask = SoftROIMask(SIZE, SIZE, tau=cfg.tau)
+    seg_losses, roi_losses = [], []
+    vit.train()
+    roi.train()
+    for epoch in range(cfg.epochs):
+        seg_total, roi_total, steps = 0.0, 0.0, 0
+        for seq_index in indices:
+            seq = dataset[seq_index]
+            for t in range(1, len(seq)):
+                prev_frame = seq.frames[t - 1]
+                frame = seq.frames[t]
+                prev_seg = seq.segmentations[t - 1]
+                target_seg = seq.segmentations[t]
+                gt_box = seq.roi_boxes[t]
+                height, width = frame.shape
+
+                rng = sample_stream(seed, epoch, seq_index, t)
+                event_map = eventify(prev_frame, frame)
+                if cfg.cue_dropout and rng.random() < cfg.cue_dropout:
+                    prev_seg = None
+                elif (
+                    prev_seg is not None
+                    and cfg.cue_dilate_prob
+                    and rng.random() < cfg.cue_dilate_prob
+                ):
+                    radius = int(rng.integers(1, cfg.cue_dilate_max_px + 1))
+                    size = 2 * radius + 1
+                    if rng.random() < 0.5:
+                        prev_seg = grey_dilation(prev_seg, size)
+                    else:
+                        prev_seg = grey_erosion(prev_seg, size)
+                roi_in = ROIPredictor.make_input(event_map, prev_seg)
+                box_pred = roi(roi_in)
+
+                if gt_box is not None:
+                    gt_norm = box_from_pixels(gt_box, height, width)[None]
+                    roi_loss_val = roi_loss.forward(box_pred, gt_norm)
+                    grad_box_mse = roi_loss.backward()
+                else:
+                    roi_loss_val = 0.0
+                    grad_box_mse = np.zeros_like(box_pred)
+
+                pixel_box = box_to_pixels(box_pred[0], height, width)
+                bern = random_mask_in_box(
+                    frame.shape, pixel_box, cfg.roi_sampling_rate, rng
+                )
+                soft = soft_mask.forward(box_pred[0])
+                eff_mask = bern * soft
+                sparse = frame * eff_mask
+
+                logits = vit(sparse[None], eff_mask[None])
+                seg_loss_val = seg_loss.forward(logits, target_seg[None])
+                grad_logits = seg_loss.backward()
+                vit.zero_grad()
+                grad_pix, grad_bit = vit.backward_to_input(grad_logits)
+                grad_soft = (grad_pix[0] * frame + grad_bit[0]) * bern
+                grad_box_seg = soft_mask.backward(grad_soft)
+
+                total_grad_box = (
+                    grad_box_mse + cfg.seg_to_roi_weight * grad_box_seg[None]
+                )
+                roi.zero_grad()
+                roi.backward(total_grad_box)
+                clip_grad_norm(roi.parameters(), cfg.grad_clip)
+                clip_grad_norm(vit.parameters(), cfg.grad_clip)
+                opt_roi.step()
+                opt_seg.step()
+                seg_total += seg_loss_val
+                roi_total += float(roi_loss_val)
+                steps += 1
+        seg_losses.append(seg_total / max(steps, 1))
+        roi_losses.append(roi_total / max(steps, 1))
+    vit.eval()
+    roi.eval()
+    return seg_losses, roi_losses
+
+
+def assert_states_equal(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        assert np.array_equal(a[name], b[name]), name
+
+
+class TestBatchOnePinsLegacyLoop:
+    def test_bitwise_parity_with_per_frame_transcription(self):
+        dataset = tiny_dataset()
+        cfg = JointTrainConfig(epochs=2, batch_size=1)
+
+        ref_roi, ref_vit = tiny_components()
+        seed = int(np.random.default_rng(SEED_RNG).integers(2**63 - 1))
+        ref_seg, ref_roi_losses = reference_joint_train(
+            ref_roi, ref_vit, cfg, dataset, [0, 1], seed
+        )
+
+        roi, vit = tiny_components()
+        trainer = JointTrainer(
+            roi, vit, cfg, np.random.default_rng(SEED_RNG)
+        )
+        result = trainer.train(dataset, [0, 1])
+
+        assert result.seg_losses == ref_seg
+        assert result.roi_losses == ref_roi_losses
+        assert_states_equal(roi.state_dict(), ref_roi.state_dict())
+        assert_states_equal(vit.state_dict(), ref_vit.state_dict())
+
+    def test_blink_frames_contribute_zero_roi_loss(self):
+        dataset = tiny_dataset(num_sequences=1)
+        seq = dataset[0]
+        for t in range(len(seq)):
+            seq.roi_boxes[t] = None  # fully occluded sequence
+        roi, vit = tiny_components()
+        trainer = JointTrainer(
+            roi, vit, JointTrainConfig(epochs=1), np.random.default_rng(3)
+        )
+        result = trainer.train(dataset, [0])
+        assert result.roi_losses == [0.0]
+
+
+class TestSubKernelBatchInvariance:
+    def test_eventify_is_batch_invariant(self):
+        rng = np.random.default_rng(0)
+        prevs = rng.random((5, SIZE, SIZE))
+        frames = rng.random((5, SIZE, SIZE))
+        stacked = eventify(prevs, frames)
+        for i in range(5):
+            assert np.array_equal(stacked[i], eventify(prevs[i], frames[i]))
+
+    def test_soft_mask_forward_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        boxes = np.sort(rng.random((4, 4)), axis=-1)
+        soft = SoftROIMask(SIZE, SIZE, tau=0.05)
+        stacked = soft.forward_batch(boxes)
+        for i in range(4):
+            scalar = SoftROIMask(SIZE, SIZE, tau=0.05)
+            assert np.array_equal(stacked[i], scalar.forward(boxes[i]))
+
+    def test_soft_mask_backward_batch_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        boxes = np.sort(rng.random((3, 4)), axis=-1)
+        grads = rng.standard_normal((3, SIZE, SIZE))
+        soft = SoftROIMask(SIZE, SIZE, tau=0.05)
+        soft.forward_batch(boxes)
+        stacked = soft.backward_batch(grads)
+        for i in range(3):
+            scalar = SoftROIMask(SIZE, SIZE, tau=0.05)
+            scalar.forward(boxes[i])
+            assert np.array_equal(stacked[i], scalar.backward(grads[i]))
+
+
+class TestBatchedSchedule:
+    def test_minibatched_training_runs_and_improves(self):
+        dataset = tiny_dataset(num_sequences=2, frames=6)
+        roi, vit = tiny_components()
+        trainer = JointTrainer(
+            roi, vit, JointTrainConfig(epochs=4, batch_size=4),
+            np.random.default_rng(SEED_RNG),
+        )
+        result = trainer.train(dataset, [0, 1])
+        assert len(result.seg_losses) == 4
+        assert all(np.isfinite(result.seg_losses))
+        assert result.seg_losses[-1] < result.seg_losses[0]
+
+    def test_batch_size_above_one_is_a_semantic_change(self):
+        # One Adam step per minibatch: documented as *different* from the
+        # per-frame loop, not a silent drift the parity suite missed.
+        dataset = tiny_dataset()
+
+        def train(batch_size):
+            roi, vit = tiny_components()
+            JointTrainer(
+                roi, vit,
+                JointTrainConfig(epochs=1, batch_size=batch_size),
+                np.random.default_rng(SEED_RNG),
+            ).train(dataset, [0, 1])
+            return roi.state_dict()
+
+        a = train(1)
+        b = train(4)
+        assert any(not np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestShardedTraining:
+    def _train(self, workers=None):
+        dataset = tiny_dataset(num_sequences=3, frames=4)
+        roi, vit = tiny_components()
+        cfg = JointTrainConfig(epochs=2, batch_size=2, grad_accum=True)
+        runner = TrainRunner(
+            roi, vit, cfg, np.random.default_rng(SEED_RNG)
+        )
+        result = runner.run(dataset, [0, 1, 2], workers=workers)
+        return roi.state_dict(), vit.state_dict(), result
+
+    def test_workers_two_bitwise_identical_to_in_process(self):
+        roi_a, vit_a, res_a = self._train(workers=None)
+        roi_b, vit_b, res_b = self._train(workers=2)
+        assert res_a.seg_losses == res_b.seg_losses
+        assert res_a.roi_losses == res_b.roi_losses
+        assert_states_equal(roi_a, roi_b)
+        assert_states_equal(vit_a, vit_b)
+
+    def test_worker_count_never_changes_results(self):
+        roi_a, vit_a, res_a = self._train(workers=2)
+        roi_b, vit_b, res_b = self._train(workers=3)
+        assert res_a.seg_losses == res_b.seg_losses
+        assert_states_equal(roi_a, roi_b)
+        assert_states_equal(vit_a, vit_b)
+
+    def test_empty_input_never_steps_a_warm_optimizer(self):
+        # Regression: with no frame pairs the accumulated schedule must
+        # not take an Adam step — a warm optimizer would move the
+        # weights on pure momentum, which the stepped schedule (and the
+        # retired loop) never did for empty input.
+        dataset = tiny_dataset(num_sequences=2, frames=4)
+        roi, vit = tiny_components()
+        cfg = JointTrainConfig(epochs=2, grad_accum=True)
+        runner = TrainRunner(roi, vit, cfg, np.random.default_rng(0))
+        runner.run(dataset, [0, 1])  # warm the Adam moments
+        before_roi = roi.state_dict()
+        before_vit = vit.state_dict()
+        result = runner.run(dataset, [])
+        assert result.seg_losses == [0.0, 0.0]
+        assert result.roi_losses == [0.0, 0.0]
+        assert_states_equal(roi.state_dict(), before_roi)
+        assert_states_equal(vit.state_dict(), before_vit)
+
+    def test_sharding_requires_grad_accum(self):
+        roi, vit = tiny_components()
+        runner = TrainRunner(
+            roi, vit, JointTrainConfig(epochs=1), np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError, match="grad_accum"):
+            runner.run(tiny_dataset(), [0, 1], workers=2)
+
+    def test_config_less_dataset_ships_inline_and_stays_bitwise(self):
+        # Duck-typed datasets without a reconstructing `config` fall back
+        # to shipping the frame data to workers — same bits either way.
+        class Wrapped:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getitem__(self, index):
+                return self._inner[index]
+
+        def train(wrap, workers):
+            ds = tiny_dataset(num_sequences=3, frames=4)
+            dataset = Wrapped(ds) if wrap else ds
+            roi, vit = tiny_components()
+            cfg = JointTrainConfig(epochs=1, batch_size=2, grad_accum=True)
+            TrainRunner(roi, vit, cfg, np.random.default_rng(7)).run(
+                dataset, [0, 1, 2], workers=workers
+            )
+            return roi.state_dict()
+
+        assert_states_equal(train(True, 2), train(False, None))
+
+    def test_mutated_sequences_are_honored_when_sharded(self):
+        # A materialized-then-mutated sequence must reach the workers
+        # as-is (inline shipping), not be silently re-rendered pristine
+        # from the config — sharded and in-process runs must train on
+        # the same data.
+        def train(workers):
+            ds = tiny_dataset(num_sequences=3, frames=4)
+            for t in range(len(ds[1])):
+                ds[1].roi_boxes[t] = None  # occlude one cached sequence
+            roi, vit = tiny_components()
+            cfg = JointTrainConfig(epochs=1, batch_size=2, grad_accum=True)
+            runner = TrainRunner(roi, vit, cfg, np.random.default_rng(9))
+            result = runner.run(ds, [0, 1, 2], workers=workers)
+            return roi.state_dict(), result
+
+        roi_a, res_a = train(None)
+        roi_b, res_b = train(2)
+        assert res_a.roi_losses == res_b.roi_losses
+        assert_states_equal(roi_a, roi_b)
+
+    def test_sharding_with_substituted_loss_rejected(self):
+        # Workers rebuild the canonical kernels; a substituted loss
+        # would be silently ignored there, breaking the worker-count
+        # neutrality contract — so run() must refuse.
+        class WeightedCE:
+            def forward(self, logits, target, mask=None):
+                return 0.0
+
+            def backward(self):
+                return np.zeros(1)
+
+        roi, vit = tiny_components()
+        runner = TrainRunner(
+            roi, vit,
+            JointTrainConfig(epochs=1, grad_accum=True),
+            np.random.default_rng(0),
+            seg_loss=WeightedCE(),
+        )
+        with pytest.raises(ValueError, match="canonical"):
+            runner.run(tiny_dataset(), [0, 1], workers=2)
+
+    def test_sharding_with_mismatched_soft_mask_rejected(self):
+        # A canonical-*type* mask with a different tau would also
+        # silently diverge (workers rebuild from config.tau) — the guard
+        # must compare parameters, not just types.
+        roi, vit = tiny_components()
+        cfg = JointTrainConfig(epochs=1, grad_accum=True, tau=0.05)
+        runner = TrainRunner(
+            roi, vit, cfg, np.random.default_rng(0),
+            soft_mask=SoftROIMask(SIZE, SIZE, tau=0.5),
+        )
+        with pytest.raises(ValueError, match="canonical"):
+            runner.run(tiny_dataset(), [0, 1], workers=2)
+
+    def test_executor_without_workers_rejected(self):
+        roi, vit = tiny_components()
+        runner = TrainRunner(
+            roi, vit,
+            JointTrainConfig(epochs=1, grad_accum=True),
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="workers"):
+            runner.run(tiny_dataset(), [0, 1], executor=object())
