@@ -127,12 +127,19 @@ def record_bench(path: str | Path, record: dict) -> dict:
     ``latest`` holds this run's record and ``trajectory`` accumulates
     every run, each entry stamped with ``git describe`` — appending
     instead of overwriting is what makes the history non-empty across
-    PRs.  Unrecognized existing content (the pre-trajectory flat
-    ``RunResult`` envelope) is absorbed as the first trajectory entry
-    rather than discarded.
+    PRs.  Entries from a dirty working tree carry an explicit
+    ``"dirty": true`` flag (not just the ``-dirty`` describe suffix), so
+    trajectory consumers can filter uncommitted-state runs without
+    string-parsing the stamp.  A re-run whose git stamp *and* record are
+    identical to the previous trajectory entry refreshes ``latest`` but
+    appends nothing — deterministic benches re-run at the same commit
+    must not inflate the history.  Unrecognized existing content (the
+    pre-trajectory flat ``RunResult`` envelope) is absorbed as the first
+    trajectory entry rather than discarded.
     """
     path = Path(path)
-    entry = {"git": git_describe(), **record}
+    git = git_describe()
+    entry = {"git": git, "dirty": git.endswith("-dirty"), **record}
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
@@ -141,7 +148,8 @@ def record_bench(path: str | Path, record: dict) -> dict:
     if trajectory is None:
         # Migrate a legacy flat record into the history it belongs to.
         trajectory = [data] if data else []
-    trajectory.append(entry)
+    if not trajectory or trajectory[-1] != entry:
+        trajectory.append(entry)
     out = {"latest": entry, "trajectory": trajectory}
     path.write_text(json.dumps(out, indent=2) + "\n")
     return out

@@ -9,10 +9,16 @@ bitwise identical, and reports frames/sec plus the per-stage wall-clock
 attribution the engine collects (the measured counterpart of the
 Figs. 13/14 breakdowns).
 
-The sharded mode is timed twice: forking a fresh pool per call (the
-pre-``Session`` behaviour) and dispatching work-stealing shards onto the
-session's *persistent* pool — ``pool_reuse_speedup`` is the ratio, i.e.
-what reusing one pool buys repeated short-rank runs.
+The sharded mode runs the production sharded configuration — batched
+kernels inside each worker — and is timed three ways: forking a fresh
+pool per call (the pre-``Session`` behaviour), dispatching work-stealing
+shards onto the session's *persistent* pool over the shared-memory
+transport channel (``pool_reuse_speedup`` is the fresh-vs-persistent
+ratio), and the same persistent pool over plain-pickle dispatch
+(``transport_speedup`` is pickle-vs-channel — what the zero-copy
+transport alone buys).  The record's ``transport`` block reports
+per-dispatch payload bytes for both paths, so the trajectory shows *why*
+the sharded numbers moved, not just that they did.
 
 Appends to ``BENCH_engine.json`` at the repository root (the shared
 ``RunResult`` serialization inside a git-stamped ``trajectory`` entry)
@@ -87,8 +93,26 @@ def test_engine_throughput(benchmark):
         f"batched mode only {record['speedup']:.2f}x over sequential "
         f"(target {TARGET_SPEEDUP}x)"
     )
-    # The sharded trajectories (fresh pool per call vs the session's
-    # persistent pool) are recorded for successive PRs to track.
+    # The sharded trajectories: with batched kernels in the workers and
+    # the zero-copy transport, `workers=N` must actually win — both over
+    # the sequential loop (fresh pool, fork cost included) and over
+    # re-forking (persistent pool) — even on a single-core host.
     assert record["workers"] == WORKERS
-    assert record["sharded_speedup"] > 0
-    assert record["pool_reuse_speedup"] > 0
+    assert record["sharded_kernels"] == "batched"
+    assert record["sharded_speedup"] > 1.0, (
+        f"sharded mode lost to sequential: {record['sharded_speedup']:.2f}x"
+    )
+    assert record["pool_reuse_speedup"] > 1.0, (
+        f"persistent pool lost to per-call forking: "
+        f"{record['pool_reuse_speedup']:.2f}x"
+    )
+    # The transport evidence: the shared-memory path must ship orders of
+    # magnitude fewer bytes per dispatch than plain pickle.
+    paths = record["transport"]
+    assert paths["channel"]["mode"] in ("shm", "pickle")
+    assert paths["pickle"]["mode"] == "pickle"
+    if paths["channel"]["mode"] == "shm":
+        assert (
+            paths["channel"]["payload_bytes_per_dispatch"]
+            < paths["pickle"]["payload_bytes_per_dispatch"] / 100
+        )

@@ -28,7 +28,7 @@ from dataclasses import replace
 from repro.api.result import RunResult, git_describe
 from repro.api.spec import ExperimentSpec, SpecError
 from repro.core import BlissCamPipeline, ci, paper
-from repro.engine import shard_executor
+from repro.engine import TransportChannel, shard_executor
 from repro.synth import GazeDynamicsConfig
 
 __all__ = ["Session", "system_config", "LIVELY_DYNAMICS"]
@@ -115,6 +115,7 @@ class Session:
     def __init__(self):
         self._executor = None
         self._executor_workers = 0
+        self._transport = None
         self._closed = False
         self._memo: dict[Any, Any] = {}
         #: Observability counters: how often the session saved work.
@@ -141,6 +142,19 @@ class Session:
             self._executor_workers = workers
             self.stats["pools_created"] += 1
         return self._executor
+
+    def transport(self) -> TransportChannel:
+        """The session's shared-memory transport channel, created lazily.
+
+        One channel per session: published payloads (runner graphs,
+        datasets, model weights) are deduplicated by content across
+        *every* run the session executes, and every segment the channel
+        created is unlinked by :meth:`close`.  Falls back to plain
+        pickle transparently when shared memory is unavailable."""
+        self._check_open()
+        if self._transport is None:
+            self._transport = TransportChannel()
+        return self._transport
 
     @property
     def pool_workers(self) -> int:
@@ -208,6 +222,7 @@ class Session:
                 shard_kwargs = {
                     "workers": workers,
                     "executor": self.executor(workers),
+                    "transport": self.transport(),
                 }
             else:
                 shard_kwargs = {}
@@ -263,6 +278,9 @@ class Session:
             self._executor.shutdown()
             self._executor = None
             self._executor_workers = 0
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
         self._closed = True
 
     def __enter__(self) -> "Session":

@@ -51,11 +51,12 @@ def _split_indices(spec: ExperimentSpec, dataset):
 
 
 def _sharding(session: Session, spec: ExperimentSpec):
-    """(workers, executor) for the engine: the session pool when sharded."""
+    """(workers, executor, transport) for the engine: the session pool
+    and its shared-memory transport channel when sharded."""
     workers = spec.execution.workers
     if workers < 2:
-        return None, None
-    return workers, session.executor(workers)
+        return None, None, None
+    return workers, session.executor(workers), session.transport()
 
 
 def strategy_rng(base_seed: int, name: str) -> np.random.Generator:
@@ -73,7 +74,7 @@ def strategy_rng(base_seed: int, name: str) -> np.random.Generator:
 def run_evaluate(session: Session, spec: ExperimentSpec) -> RunResult:
     """Train (memoized) + evaluate the end-to-end tracker."""
     pipeline = session.pipeline(spec)
-    workers, executor = _sharding(session, spec)
+    workers, executor, transport = _sharding(session, spec)
     e = spec.execution
     result = pipeline.evaluate(
         list(e.eval_indices) if e.eval_indices is not None else None,
@@ -83,6 +84,7 @@ def run_evaluate(session: Session, spec: ExperimentSpec) -> RunResult:
         batch_size=e.batch_size,
         workers=workers,
         executor=executor,
+        transport=transport,
     )
     metrics = {
         "frames": result.horizontal.count,
@@ -213,7 +215,7 @@ def run_strategy_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
         ("dataset", spec.section_hash("dataset")), _dataset, training=False
     )
     train_idx, eval_idx = _split_indices(spec, dataset)
-    workers, executor = _sharding(session, spec)
+    workers, executor, transport = _sharding(session, spec)
 
     # Fan uncached strategies out across the pool; each worker returns
     # its trained triple plus the evaluation it already ran in-place.
@@ -278,6 +280,7 @@ def run_strategy_sweep(session: Session, spec: ExperimentSpec) -> RunResult:
                 batch_size=spec.execution.batch_size,
                 workers=workers,
                 executor=executor,
+                transport=transport,
                 use_gt_roi=st.use_gt_roi,
             )
         per_strategy[name] = {
@@ -321,7 +324,7 @@ def run_serve(session: Session, spec: ExperimentSpec) -> RunResult:
         reuse_window=spec.sensor.reuse_window,
         sensor_seed=spec.sensor.sensor_seed,
     )
-    workers, executor = _sharding(session, spec)
+    workers, executor, transport = _sharding(session, spec)
     scenario = spec.execution.serve
     run = simulate_serving(
         graph=graph,
@@ -330,6 +333,7 @@ def run_serve(session: Session, spec: ExperimentSpec) -> RunResult:
         scenario=scenario,
         workers=workers,
         executor=executor,
+        transport=transport,
     )
     telemetry = run.summary
     frames = telemetry["frames"]
@@ -373,7 +377,7 @@ def run_serve(session: Session, spec: ExperimentSpec) -> RunResult:
 def run_throughput(session: Session, spec: ExperimentSpec) -> RunResult:
     """Engine frames/sec: sequential vs batched vs sharded modes."""
     pipeline = session.pipeline(spec)
-    workers, executor = _sharding(session, spec)
+    workers, executor, transport = _sharding(session, spec)
     _, eval_idx = _split_indices(spec, pipeline.dataset)
     record = measure_throughput(
         pipeline,
@@ -381,6 +385,7 @@ def run_throughput(session: Session, spec: ExperimentSpec) -> RunResult:
         repeats=spec.execution.repeats,
         workers=workers,
         executor=executor,
+        transport=transport,
     )
     if executor is not None:
         # The session pool is grow-only: a previous run may have left it

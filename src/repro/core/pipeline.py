@@ -156,6 +156,10 @@ class EvaluationResult:
     #: :class:`~repro.engine.StageTiming`); the measured counterpart of the
     #: Figs. 13/14 per-stage energy/latency breakdowns.
     stage_timings: dict[str, StageTiming] | None = None
+    #: Shard-transport accounting from the engine run (``None`` for
+    #: in-process modes): mode, dispatches, per-dispatch payload bytes —
+    #: see :attr:`repro.engine.EngineRun.transport`.
+    transport: dict | None = None
 
     @property
     def within_one_degree(self) -> bool:
@@ -192,6 +196,7 @@ class BlissCamPipeline:
         train_indices: list[int] | None = None,
         workers: int | None = None,
         executor=None,
+        transport=None,
     ) -> JointTrainResult:
         """Joint training (Sec. III-C) + gaze calibration.
 
@@ -210,7 +215,11 @@ class BlissCamPipeline:
             self.roi_predictor, self.segmenter, self.config.joint, self.rng
         )
         self._train_result = trainer.train(
-            self.dataset, train_indices, workers=workers, executor=executor
+            self.dataset,
+            train_indices,
+            workers=workers,
+            executor=executor,
+            transport=transport,
         )
         # Calibrate the gaze regression on ground-truth maps (per-user
         # calibration in a real system).
@@ -307,6 +316,7 @@ class BlissCamPipeline:
         batch_size: int | None = None,
         workers: int | None = None,
         executor=None,
+        transport=None,
     ) -> EvaluationResult:
         """Run the functional sensor + host over held-out sequences.
 
@@ -338,6 +348,7 @@ class BlissCamPipeline:
             batched=batched,
             workers=workers,
             executor=executor,
+            transport=transport,
         )
         return self._collect_evaluation(run)
 
@@ -365,4 +376,5 @@ class BlissCamPipeline:
             predictions=predictions,
             truths=truth_arr,
             stage_timings=run.stage_timings,
+            transport=run.transport,
         )

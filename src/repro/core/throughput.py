@@ -49,6 +49,7 @@ def measure_throughput(
     repeats: int = 3,
     workers: int | None = None,
     executor=None,
+    transport=None,
 ) -> dict:
     """Time the engine modes over ``eval_indices`` on a trained pipeline.
 
@@ -59,12 +60,17 @@ def measure_throughput(
     allocator/scheduler noise a loaded machine adds on top — and the
     result reported for a mode is the one produced by its best repeat.
 
-    ``workers >= 2`` additionally times the sharded mode (sequential
-    kernels inside each worker process) and cross-checks it bitwise
-    against the in-process runs.  ``executor`` (a persistent pool, e.g.
-    ``repro.api.Session``'s) adds a fourth timed mode — sharded over the
-    *reused* pool with shard work stealing — so the record captures the
-    per-call-fork vs persistent-pool trajectory side by side.
+    ``workers >= 2`` additionally times the sharded mode — the
+    *production* sharded configuration: batched kernels inside each
+    worker process (``sharded_kernels`` records this) — and cross-checks
+    it bitwise against the in-process runs.  ``executor`` (a persistent
+    pool, e.g.  ``repro.api.Session``'s) adds the persistent-pool mode —
+    sharded over the *reused* pool with shard work stealing and the
+    shared-memory ``transport`` channel — plus a ``transport=False``
+    plain-pickle timing of the same configuration, so the record
+    captures per-call-fork vs persistent-pool (``pool_reuse_speedup``)
+    and pickle vs shared-memory dispatch (``transport_speedup``, with
+    per-dispatch payload bytes for both paths) side by side.
     """
     if not eval_indices:
         raise ValueError(
@@ -103,8 +109,16 @@ def measure_throughput(
         },
     }
     if workers is not None and workers >= 2:
+        # The production sharded configuration: batched kernels inside
+        # each worker (vectorized lockstep within a shard, shards over
+        # processes).  Sharding sequential kernels would measure pure
+        # dispatch overhead on single-core hosts instead of the mode
+        # anything actually runs.
         shard_s, shard_result = _best_of(
-            lambda: pipeline.evaluate(eval_indices, workers=workers), repeats
+            lambda: pipeline.evaluate(
+                eval_indices, batched=True, workers=workers
+            ),
+            repeats,
         )
         identical = identical and _same_results(seq_result, shard_result)
         record.update(
@@ -112,6 +126,7 @@ def measure_throughput(
                 # The runner clamps to the sequence count; record what
                 # actually executed, not what was requested.
                 "workers": min(workers, len(eval_indices)),
+                "sharded_kernels": "batched",
                 "sharded_s": shard_s,
                 "sharded_fps": _rate(frames, shard_s),
                 "sharded_speedup": (
@@ -127,14 +142,29 @@ def measure_throughput(
             # Warm the pool's workers once so the timed section compares
             # steady-state dispatch, not the first fork (exactly the cost
             # the persistent pool exists to amortize across run() calls).
-            pipeline.evaluate(warm, workers=workers, executor=executor)
+            pipeline.evaluate(
+                warm, batched=True, workers=workers, executor=executor,
+                transport=transport,
+            )
             pers_s, pers_result = _best_of(
                 lambda: pipeline.evaluate(
-                    eval_indices, workers=workers, executor=executor
+                    eval_indices, batched=True, workers=workers,
+                    executor=executor, transport=transport,
                 ),
                 repeats,
             )
             identical = identical and _same_results(seq_result, pers_result)
+            # The same configuration over plain-pickle dispatch: the
+            # pre-transport baseline, so the record shows what the bytes
+            # cost (and the handle path's payload shrink) directly.
+            pickle_s, pickle_result = _best_of(
+                lambda: pipeline.evaluate(
+                    eval_indices, batched=True, workers=workers,
+                    executor=executor, transport=False,
+                ),
+                repeats,
+            )
+            identical = identical and _same_results(seq_result, pickle_result)
             record.update(
                 {
                     "sharded_persistent_s": pers_s,
@@ -144,6 +174,32 @@ def measure_throughput(
                     "pool_reuse_speedup": (
                         shard_s / pers_s if pers_s > 0 else float("inf")
                     ),
+                    "sharded_pickle_s": pickle_s,
+                    # Plain-pickle dispatch over shared-memory dispatch
+                    # on the same persistent pool: the payoff of the
+                    # transport layer alone.
+                    "transport_speedup": (
+                        pickle_s / pers_s if pers_s > 0 else float("inf")
+                    ),
+                    "transport": {
+                        mode: {
+                            key: res.transport[key]
+                            for key in (
+                                "mode",
+                                "dispatches",
+                                "payload_bytes",
+                                "payload_bytes_per_dispatch",
+                                "segment_bytes_written",
+                                "segments_created",
+                                "publish_reuses",
+                            )
+                        }
+                        for mode, res in (
+                            ("channel", pers_result),
+                            ("pickle", pickle_result),
+                        )
+                        if res.transport is not None
+                    },
                 }
             )
     record["bitwise_identical"] = identical
@@ -192,6 +248,20 @@ def throughput_tables(record: dict) -> list[Table]:
         )
         fps.add_row(
             "pool reuse speedup", f"{record['pool_reuse_speedup']:.2f}x", ""
+        )
+    if "transport_speedup" in record:
+        fps.add_row(
+            "transport speedup (vs pickle dispatch)",
+            f"{record['transport_speedup']:.2f}x",
+            "",
+        )
+    paths = record.get("transport") or {}
+    if "channel" in paths and "pickle" in paths:
+        fps.add_row(
+            "payload bytes/dispatch (channel vs pickle)",
+            f"{paths['channel']['payload_bytes_per_dispatch']:.0f}"
+            f" vs {paths['pickle']['payload_bytes_per_dispatch']:.0f}",
+            "",
         )
 
     # Sequential/batched columns are serial wall time; the sharded column

@@ -148,6 +148,7 @@ def evaluate_strategy(
     batch_size: int | None = None,
     workers: int | None = None,
     executor=None,
+    transport=None,
     use_gt_roi: bool = True,
 ) -> StrategyEvaluation:
     """Measure gaze error when the host sees ``strategy``-sampled frames.
@@ -189,6 +190,7 @@ def evaluate_strategy(
         batched=batched,
         workers=workers,
         executor=executor,
+        transport=transport,
     )
 
     preds, truths, compressions = [], [], []

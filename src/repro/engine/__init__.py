@@ -30,6 +30,14 @@ from repro.engine.runner import (
     shard_executor,
 )
 from repro.engine.stage import Stage, StageGraph
+from repro.engine.transport import (
+    ObjectHandle,
+    TransportChannel,
+    TransportError,
+    resolve_payload,
+    shm_available,
+    worker_cached,
+)
 from repro.engine.stages import (
     EventifyPairStage,
     EventifyStage,
@@ -54,6 +62,12 @@ __all__ = [
     "StageTiming",
     "contiguous_shards",
     "shard_executor",
+    "TransportChannel",
+    "TransportError",
+    "ObjectHandle",
+    "resolve_payload",
+    "worker_cached",
+    "shm_available",
     "EventifyStage",
     "ROIPredictStage",
     "ROIReuseStage",

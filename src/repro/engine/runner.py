@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.engine.context import FrameContext, SequenceState
 from repro.engine.stage import StageGraph
+from repro.engine.transport import ObjectHandle, TransportChannel, resolve_payload
 
 __all__ = [
     "SequenceRunner",
@@ -81,6 +82,11 @@ class EngineRun:
     batched: bool
     #: Worker processes the run was sharded over (1 = in-process).
     workers: int = 1
+    #: Transport accounting for sharded runs (``None`` in-process):
+    #: mode ("shm"/"pickle"), dispatches, per-dispatch payload bytes
+    #: (what actually crossed the pipe), and segment bytes written/reused
+    #: — the evidence behind the benchmark's transport columns.
+    transport: dict | None = None
 
     @property
     def evaluated(self) -> list[FrameContext]:
@@ -115,6 +121,27 @@ def _execute_shard(
     return contexts, timings
 
 
+def _execute_shard_handles(
+    runner_handle: ObjectHandle,
+    shard_handle: ObjectHandle,
+    batched: bool,
+) -> tuple[list[FrameContext], dict[str, StageTiming]]:
+    """Transport-mode worker entry: resolve handles, then run the shard.
+
+    The runner and the shard's sequences arrive as content-addressed
+    :class:`~repro.engine.transport.ObjectHandle`\\ s: big arrays map
+    read-only from shared memory and repeated dispatches of identical
+    payloads hit the worker's digest cache instead of re-deserializing.
+    Stages keep all cross-frame state in ``SequenceState`` (never on
+    themselves), so executing a cached runner object repeatedly is
+    exactly as stateless as unpickling a fresh copy per task — the
+    sharded parity suites pin this.
+    """
+    runner = resolve_payload(runner_handle)
+    shard = resolve_payload(shard_handle)
+    return _execute_shard(runner, shard, batched)
+
+
 def _pool_context():
     """Prefer fork (inherits the warm interpreter; cheap at CI scale)."""
     try:
@@ -129,8 +156,12 @@ def contiguous_shards(items: list, n_shards: int) -> list[list]:
     Empty pieces are dropped; concatenating the shards in order
     reproduces ``items`` exactly — the property every fixed-order merge
     in the repository relies on (the engine's sequence-rank sharding
-    below and the training runtime's per-sequence gradient reduction).
+    below, the training runtime's per-sequence gradient reduction, and
+    the serve runtime's replica partitioning).  ``n_shards <= 0`` is a
+    caller bug and raises instead of silently dropping every item.
     """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be >= 1: {n_shards}")
     bounds = np.linspace(0, len(items), n_shards + 1).astype(int)
     return [
         items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
@@ -218,6 +249,7 @@ class SequenceRunner:
         batched: bool = False,
         workers: int | None = None,
         executor: Executor | None = None,
+        transport: TransportChannel | bool | None = None,
     ) -> EngineRun:
         """Run the graph over ``[(seq_index, sequence), ...]``.
 
@@ -234,6 +266,22 @@ class SequenceRunner:
         ``workers * STEAL_FACTOR`` contiguous shards so idle workers
         steal pending shards when sequence lengths are unequal; shard
         boundaries never affect results, only scheduling.
+
+        ``transport`` controls how shard payloads reach the workers:
+
+        * ``None`` (default) — a per-run
+          :class:`~repro.engine.transport.TransportChannel` ships the
+          runner and the sequences as content-addressed shared-memory
+          handles (plain pickle where shared memory is unavailable) and
+          unlinks its segments on run teardown;
+        * a channel instance — a *persistent* channel (e.g. the one
+          ``repro.api.Session`` owns) whose segments outlive this run,
+          so repeated runs ship each payload's bytes once;
+        * ``False`` — force the inline-pickle path (what the benchmarks
+          time as the pre-transport baseline).
+
+        All transport modes are bitwise-identical; the run's
+        :attr:`EngineRun.transport` records what actually moved.
         """
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
@@ -245,9 +293,10 @@ class SequenceRunner:
         sequences = list(sequences)
         n_workers = min(workers or 1, len(sequences))
         start = time.perf_counter()
+        transport_info = None
         if n_workers >= 2:
-            contexts, timings = self._run_sharded(
-                sequences, batched, n_workers, executor
+            contexts, timings, transport_info = self._run_sharded(
+                sequences, batched, n_workers, executor, transport
             )
         else:
             n_workers = 1
@@ -263,6 +312,7 @@ class SequenceRunner:
             wall_seconds=wall,
             batched=batched,
             workers=n_workers,
+            transport=transport_info,
         )
 
     def _run_sharded(
@@ -271,7 +321,8 @@ class SequenceRunner:
         batched: bool,
         workers: int,
         executor: Executor | None = None,
-    ) -> tuple[list[FrameContext], dict[str, StageTiming]]:
+        transport: TransportChannel | bool | None = None,
+    ) -> tuple[list[FrameContext], dict[str, StageTiming], dict]:
         # Contiguous balanced shards: concatenating shard outputs in shard
         # order reproduces the sequence-major ordering of the in-process
         # modes exactly.  An injected executor gets an oversubscribed cut
@@ -280,29 +331,67 @@ class SequenceRunner:
             min(len(sequences), workers * STEAL_FACTOR) if executor else workers
         )
         shards = contiguous_shards(sequences, n_shards)
-        if executor is not None:
-            # submit() preserves shard order through the futures list while
-            # letting the pool hand the next pending shard to whichever
-            # worker frees up first.
-            futures = [
-                executor.submit(_execute_shard, self, shard, batched)
-                for shard in shards
-            ]
-            results = [f.result() for f in futures]
+        if isinstance(transport, TransportChannel):
+            channel, own_channel = transport, False
         else:
-            with ProcessPoolExecutor(
-                max_workers=len(shards), mp_context=_pool_context()
-            ) as pool:
-                # map() preserves shard order; sequences within a shard keep
-                # their relative order inside the worker.
-                results = list(
-                    pool.map(
-                        _execute_shard,
-                        [self] * len(shards),
-                        shards,
-                        [batched] * len(shards),
+            # Per-run channel: ``None`` auto-detects shared memory,
+            # ``False`` forces the inline-pickle fallback.  Either way
+            # the channel (and its segments) dies with this run.
+            channel = TransportChannel(use_shm=None if transport is None else False)
+            own_channel = True
+        try:
+            before = dict(channel.stats)
+            # Publish the payloads *before* forking a throwaway pool:
+            # fork-inherited mappings make the workers' segment attaches
+            # free.  The runner ships once per run; each shard ships as
+            # its own handle so the work-stealing dispatch stays per-shard.
+            runner_handle = channel.publish(self)
+            shard_handles = [channel.publish(shard) for shard in shards]
+            tasks = [
+                (runner_handle, handle, batched) for handle in shard_handles
+            ]
+            if executor is not None:
+                # submit() preserves shard order through the futures list
+                # while letting the pool hand the next pending shard to
+                # whichever worker frees up first.
+                futures = [
+                    executor.submit(_execute_shard_handles, *task)
+                    for task in tasks
+                ]
+                results = [f.result() for f in futures]
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=len(shards), mp_context=_pool_context()
+                ) as pool:
+                    # map() preserves shard order; sequences within a shard
+                    # keep their relative order inside the worker.
+                    results = list(
+                        pool.map(_execute_shard_handles, *zip(*tasks))
                     )
-                )
+            dispatch_bytes = sum(
+                runner_handle.wire_bytes + handle.wire_bytes
+                for handle in shard_handles
+            )
+            transport_info = {
+                "mode": "shm" if channel.use_shm else "pickle",
+                "persistent_channel": not own_channel,
+                "dispatches": len(shards),
+                "payload_bytes": dispatch_bytes,
+                "payload_bytes_per_dispatch": dispatch_bytes / len(shards),
+                "segment_bytes_written": (
+                    channel.stats["segment_bytes"] - before["segment_bytes"]
+                ),
+                "segments_created": (
+                    channel.stats["segments_created"]
+                    - before["segments_created"]
+                ),
+                "publish_reuses": (
+                    channel.stats["publish_reuses"] - before["publish_reuses"]
+                ),
+            }
+        finally:
+            if own_channel:
+                channel.close()
         contexts: list[FrameContext] = []
         timings: dict[str, StageTiming] = {
             name: StageTiming() for name in self.graph.stage_names
@@ -317,7 +406,7 @@ class SequenceRunner:
                 total.seconds += timing.seconds
                 total.frames += timing.frames
                 total.calls += timing.calls
-        return contexts, timings
+        return contexts, timings, transport_info
 
     def _run_sequential(self, sequences, timings) -> list[FrameContext]:
         contexts: list[FrameContext] = []

@@ -336,6 +336,28 @@ def _serve_partition(
     return telemetry, gaze_log, wall
 
 
+def _serve_partition_handles(bundle_handle, client_ids: list[int]):
+    """Shared-memory worker entry for one scheduler replica.
+
+    The replica-invariant bundle — graph, state factory (carrying the
+    calibrated sensor template), dataset config, scenario, SLO model and
+    micro-batch flag — is published once per serve run and ships as one
+    tiny handle; only the partition's client ids travel per dispatch.
+    Workers resolve the bundle through the digest-keyed payload cache,
+    so a persistent pool serving repeated scenarios skips the
+    deserialization entirely.
+    """
+    from repro.engine.transport import resolve_payload
+
+    graph, state_factory, dataset_cfg, scenario, slo, micro_batch = (
+        resolve_payload(bundle_handle)
+    )
+    return _serve_partition(
+        graph, state_factory, dataset_cfg, scenario, slo, client_ids,
+        micro_batch,
+    )
+
+
 def simulate_serving(
     *,
     graph: StageGraph,
@@ -346,6 +368,7 @@ def simulate_serving(
     micro_batch: bool = True,
     workers: int | None = None,
     executor=None,
+    transport=None,
     client_ids: list[int] | None = None,
 ) -> ServeRun:
     """Serve ``scenario``'s client fleet through a tracking stage graph.
@@ -356,9 +379,15 @@ def simulate_serving(
     the serving benchmark compares against.  ``workers >= 2`` partitions
     the fleet into that many independent scheduler replicas executed in
     worker processes (``executor`` injects a persistent pool, e.g. the
-    session's).  Telemetry latencies are virtual-clock, hence
-    deterministic; ``wall_seconds`` measures the real serving loop.
+    session's, and ``transport`` its shared-memory channel — ``None``
+    opens a per-run channel, ``False`` forces plain-pickle dispatch;
+    telemetry is identical in every mode).  Telemetry latencies are
+    virtual-clock, hence deterministic; ``wall_seconds`` measures the
+    real serving loop.
     """
+    from repro.engine.runner import contiguous_shards
+    from repro.engine.transport import TransportChannel
+
     if slo is None:
         slo = SLOModel.from_hardware(
             fps=dataset_cfg.fps,
@@ -369,25 +398,46 @@ def simulate_serving(
         client_ids = list(range(scenario.num_clients))
     n_workers = max(1, min(workers or 1, len(client_ids)))
     if n_workers >= 2:
-        bounds = np.linspace(0, len(client_ids), n_workers + 1).astype(int)
-        partitions = [
-            client_ids[lo:hi]
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
-        ]
-        args = [
-            (graph, state_factory, dataset_cfg, scenario, slo, part, micro_batch)
-            for part in partitions
-        ]
-        if executor is not None:
-            futures = [executor.submit(_serve_partition, *a) for a in args]
-            results = [f.result() for f in futures]
-        else:
-            from repro.engine.runner import shard_executor
-
-            with shard_executor(len(partitions)) as pool:
-                futures = [pool.submit(_serve_partition, *a) for a in args]
+        partitions = contiguous_shards(client_ids, n_workers)
+        own_channel = None
+        channel = None
+        if transport is not False:
+            if isinstance(transport, TransportChannel):
+                channel = transport
+            else:
+                own_channel = channel = TransportChannel()
+        try:
+            if channel is not None:
+                # The replica-invariant bundle ships once (slot-keyed, so
+                # a later serve run on a persistent channel replaces this
+                # generation's segments); published before any throwaway
+                # pool forks so workers inherit the mappings.
+                bundle_handle = channel.publish(
+                    (graph, state_factory, dataset_cfg, scenario, slo,
+                     micro_batch),
+                    slot="serve_bundle",
+                )
+                args = [(bundle_handle, part) for part in partitions]
+                job = _serve_partition_handles
+            else:
+                args = [
+                    (graph, state_factory, dataset_cfg, scenario, slo, part,
+                     micro_batch)
+                    for part in partitions
+                ]
+                job = _serve_partition
+            if executor is not None:
+                futures = [executor.submit(job, *a) for a in args]
                 results = [f.result() for f in futures]
+            else:
+                from repro.engine.runner import shard_executor
+
+                with shard_executor(len(partitions)) as pool:
+                    futures = [pool.submit(job, *a) for a in args]
+                    results = [f.result() for f in futures]
+        finally:
+            if own_channel is not None:
+                own_channel.close()
         telemetry, gaze_log, _ = results[0]
         for part_telemetry, part_log, _ in results[1:]:
             telemetry.merge(part_telemetry)

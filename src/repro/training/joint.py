@@ -289,13 +289,16 @@ class JointTrainer:
         sequence_indices: list[int],
         workers: int | None = None,
         executor=None,
+        transport=None,
     ) -> JointTrainResult:
         """Run ``config.epochs`` passes over the given sequences.
 
         ``workers >= 2`` shards the epoch's per-sequence gradient passes
         over worker processes (requires ``config.grad_accum``; see
         :meth:`repro.training.runtime.TrainRunner.run`); ``executor``
-        reuses an existing pool (e.g. a ``repro.api.Session``'s).
+        reuses an existing pool (e.g. a ``repro.api.Session``'s) and
+        ``transport`` a shared-memory channel (``False`` forces plain
+        pickle) — both bitwise-neutral.
         """
         # Imported here: the runtime imports this module for the config/
         # result/soft-mask types.
@@ -313,5 +316,9 @@ class JointTrainer:
             soft_mask=self.soft_mask,
         )
         return runner.run(
-            dataset, sequence_indices, workers=workers, executor=executor
+            dataset,
+            sequence_indices,
+            workers=workers,
+            executor=executor,
+            transport=transport,
         )

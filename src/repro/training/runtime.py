@@ -314,10 +314,24 @@ def _sequence_gradients(
     )
 
 
-#: Worker-side dataset slot: ``(dataset type, dataset config)`` -> built
-#: dataset.  Single-slot on purpose — bounded even when a persistent
-#: session pool serves many runs; a different config just rebuilds.
-_WORKER_DATASET: list = [None, None]
+def _dataset_cache_key(dataset_type, dataset_cfg) -> tuple:
+    """The worker-cache key of one rebuildable dataset.
+
+    Keyed by the config's *content* (a digest of its pickle), not object
+    identity: two runs shipping equal configs share one worker-side
+    dataset, and any config change — however small — misses and
+    rebuilds.
+    """
+    import hashlib
+    import pickle as _pickle
+
+    blob = _pickle.dumps(dataset_cfg, _pickle.HIGHEST_PROTOCOL)
+    return (
+        "train_dataset",
+        dataset_type.__module__,
+        dataset_type.__qualname__,
+        hashlib.blake2b(blob, digest_size=16).hexdigest(),
+    )
 
 
 def _resolve_shard(shard_spec) -> list[tuple[int, object]]:
@@ -327,7 +341,10 @@ def _resolve_shard(shard_spec) -> list[tuple[int, object]]:
     the dataset config — sequence ``i`` is a pure function of
     ``(config.seed, i)`` (the dataset's documented contract), so only
     the *indices* ship per epoch, not the frame data; the built dataset
-    is cached across epochs (and runs) in :data:`_WORKER_DATASET`.
+    is cached across epochs (and runs) in the transport layer's keyed
+    worker cache (:func:`repro.engine.transport.worker_cached` — the
+    generalization of this module's historical single-slot cache), so a
+    persistent pool serving interleaved configs keeps each one warm.
     ``("inline", pairs)`` is the fallback for datasets that cannot be
     rebuilt worker-side (no reconstructing ``config``, or sequences the
     parent already materialized and may have mutated).  Inline payloads
@@ -335,19 +352,15 @@ def _resolve_shard(shard_spec) -> list[tuple[int, object]]:
     once-only transfer could land on a worker that never cached it —
     rebuild mode is the fast path, inline the correctness fallback.
     """
+    from repro.engine.transport import worker_cached
+
     if shard_spec[0] == "inline":
         return shard_spec[1]
     _, dataset_type, dataset_cfg, indices = shard_spec
-    key = (dataset_type, dataset_cfg)
-    if _WORKER_DATASET[0] != key:
-        # Build before recording the key: a constructor failure must not
-        # leave the slot claiming this key while holding the previous
-        # config's dataset (a poisoned cache would silently serve wrong
-        # data to a later same-key task on a persistent pool).
-        dataset = dataset_type(dataset_cfg)
-        _WORKER_DATASET[1] = dataset
-        _WORKER_DATASET[0] = key
-    dataset = _WORKER_DATASET[1]
+    dataset = worker_cached(
+        _dataset_cache_key(dataset_type, dataset_cfg),
+        lambda: dataset_type(dataset_cfg),
+    )
     return [(i, dataset[i]) for i in indices]
 
 
@@ -389,6 +402,29 @@ def _epoch_shard_job(
         )
         for seq_index, seq in _resolve_shard(shard_spec)
     ]
+
+
+def _epoch_shard_job_handles(models_handle, shard_handle, epoch: int):
+    """Shared-memory worker entry: resolve handles, run the shard job.
+
+    ``models_handle`` carries ``(roi_predictor, segmenter, config,
+    seed)`` published per epoch into a slot (so epoch ``e``'s weights
+    replace epoch ``e-1``'s segments); ``shard_handle`` carries the
+    run-constant shard spec, published once and digest-cached
+    worker-side, so steady-state epochs resolve it without touching the
+    bytes again.  Weight arrays arrive as read-only views over the
+    mapped segments; ``Parameter.__setstate__`` recreates writable
+    gradient buffers, and workers never write ``.data`` — they only
+    accumulate gradients — so read-only weights are exactly as safe as
+    pickled copies.
+    """
+    from repro.engine.transport import resolve_payload
+
+    roi_predictor, segmenter, config, seed = resolve_payload(models_handle)
+    shard_spec = resolve_payload(shard_handle)
+    return _epoch_shard_job(
+        roi_predictor, segmenter, config, seed, epoch, shard_spec
+    )
 
 
 class TrainRunner:
@@ -453,6 +489,7 @@ class TrainRunner:
         *,
         workers: int | None = None,
         executor=None,
+        transport=None,
     ) -> JointTrainResult:
         """Train over ``sequence_indices`` for ``config.epochs`` epochs.
 
@@ -466,6 +503,13 @@ class TrainRunner:
         clamped to the sequence count: a single-sequence run stays
         in-process (same bits — workers never change results) even when
         an executor was injected.
+
+        ``transport`` follows the engine runner's convention: ``None``
+        opens a per-run shared-memory
+        :class:`~repro.engine.transport.TransportChannel` (closed on
+        return), a channel instance reuses a persistent one (e.g. a
+        ``Session``'s), and ``False`` forces the plain-pickle dispatch
+        path.  Results are bitwise-identical in every mode.
         """
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
@@ -497,7 +541,7 @@ class TrainRunner:
         indices = list(sequence_indices)
         self.segmenter.train()
         self.roi_predictor.train()
-        return self._execute(dataset, indices, n_workers, executor)
+        return self._execute(dataset, indices, n_workers, executor, transport)
 
     def _components_canonical(self) -> bool:
         """Whether workers would rebuild exactly the components in use.
@@ -519,13 +563,13 @@ class TrainRunner:
         )
 
     def _execute(
-        self, dataset, indices: list[int], n_workers: int, executor
+        self, dataset, indices: list[int], n_workers: int, executor, transport
     ) -> JointTrainResult:
         """Dispatch to the configured schedule; restore eval mode."""
         try:
             if self.config.grad_accum:
                 result = self._run_accumulated(
-                    dataset, indices, n_workers, executor
+                    dataset, indices, n_workers, executor, transport
                 )
             else:
                 result = self._run_stepped(
@@ -574,9 +618,11 @@ class TrainRunner:
         indices: list[int],
         workers: int,
         executor,
+        transport,
     ) -> JointTrainResult:
         """One Adam step per epoch over fixed-order per-sequence sums."""
         from repro.engine import contiguous_shards, shard_executor
+        from repro.engine.transport import TransportChannel
 
         cfg = self.config
         n_workers = min(workers, len(indices))
@@ -593,6 +639,28 @@ class TrainRunner:
             if n_workers >= 2
             else None
         )
+        # Shared-memory transport for the shard dispatches: a channel
+        # instance is reused (persistent Session channel), ``None`` opens
+        # a per-run channel, ``False`` keeps plain-pickle dispatch.
+        own_channel = None
+        channel = None
+        if n_workers >= 2 and transport is not False:
+            if isinstance(transport, TransportChannel):
+                channel = transport
+            else:
+                own_channel = channel = TransportChannel()
+        # The run-constant shard specs ship once, into slots a later
+        # training run on the same channel will recycle.  Published
+        # before the throwaway pool forks so its workers inherit the
+        # mappings instead of re-attaching.
+        shard_handles = (
+            [
+                channel.publish(spec, slot=("train_shard", i))
+                for i, spec in enumerate(shard_specs)
+            ]
+            if channel is not None
+            else None
+        )
         # One throwaway pool per *run* (not per epoch) when no executor
         # was injected.
         pool = (
@@ -603,12 +671,15 @@ class TrainRunner:
         try:
             for epoch in range(cfg.epochs):
                 self._accumulate_epoch(
-                    dataset, indices, shard_specs, epoch, n_workers,
-                    executor or pool, roi_params, seg_params, result,
+                    dataset, indices, shard_specs, shard_handles, channel,
+                    epoch, n_workers, executor or pool, roi_params,
+                    seg_params, result,
                 )
         finally:
             if pool is not None:
                 pool.shutdown()
+            if own_channel is not None:
+                own_channel.close()
         return result
 
     @staticmethod
@@ -646,6 +717,8 @@ class TrainRunner:
         dataset,
         indices: list[int],
         shard_specs: list | None,
+        shard_handles: list | None,
+        channel,
         epoch: int,
         workers: int,
         executor,
@@ -656,7 +729,9 @@ class TrainRunner:
         """One data-parallel epoch: reduce per-sequence sums, step once."""
         cfg = self.config
         if workers >= 2:
-            per_seq = self._sharded_epoch(shard_specs, epoch, executor)
+            per_seq = self._sharded_epoch(
+                shard_specs, shard_handles, channel, epoch, executor
+            )
         else:
             # Lazy in-process generation: only one sequence's gradient
             # copies are alive at a time — the reduction below consumes
@@ -711,31 +786,52 @@ class TrainRunner:
         result.seg_losses.append(seg_sum / ranks)
         result.roi_losses.append(roi_sum / ranks)
 
-    def _sharded_epoch(self, shard_specs: list, epoch: int, executor):
+    def _sharded_epoch(
+        self, shard_specs: list, shard_handles: list | None, channel,
+        epoch: int, executor,
+    ):
         """Per-sequence gradients of one epoch, sharded over processes.
 
         Contiguous shards of whole sequences onto ``executor`` (the
         caller's injected pool, or the one ``_run_accumulated`` opened
         for the whole run); the models ship with each task carrying the
         epoch-start weights (gradient buffers are stripped by
-        ``Parameter.__getstate__``).  Yields shard results in shard
-        order — exact sequence order for the parent-side reduction.
-        Peak parent-side memory is bounded by the worker count: shards
-        that finish early sit buffered in their futures until the
-        in-order reduction reaches them.
+        ``Parameter.__getstate__``).  With a transport channel the
+        epoch-start weights are published into the ``"train_models"``
+        slot — each epoch's segments *replace* the previous epoch's
+        (safe: every epoch-``e`` task completes before epoch ``e+1``
+        publishes) — and each dispatch ships two tiny handles instead of
+        the models + shard payload.  Yields shard results in shard order
+        — exact sequence order for the parent-side reduction.  Peak
+        parent-side memory is bounded by the worker count: shards that
+        finish early sit buffered in their futures until the in-order
+        reduction reaches them.
         """
-        futures = [
-            executor.submit(
-                _epoch_shard_job,
-                self.roi_predictor,
-                self.segmenter,
-                self.config,
-                self.seed,
-                epoch,
-                shard_spec,
+        if channel is not None:
+            models_handle = channel.publish(
+                (self.roi_predictor, self.segmenter, self.config, self.seed),
+                slot="train_models",
             )
-            for shard_spec in shard_specs
-        ]
+            futures = [
+                executor.submit(
+                    _epoch_shard_job_handles, models_handle, shard_handle,
+                    epoch,
+                )
+                for shard_handle in shard_handles
+            ]
+        else:
+            futures = [
+                executor.submit(
+                    _epoch_shard_job,
+                    self.roi_predictor,
+                    self.segmenter,
+                    self.config,
+                    self.seed,
+                    epoch,
+                    shard_spec,
+                )
+                for shard_spec in shard_specs
+            ]
         for future in futures:
             yield from future.result()
 

@@ -1,0 +1,72 @@
+"""``benchmarks/_helpers.record_bench``: trajectory hygiene.
+
+The ``BENCH_*.json`` trajectories are the perf history successive PRs
+read; two properties keep them meaningful:
+
+* dirty-tree runs carry an explicit ``"dirty": true`` flag (consumers
+  filter on it instead of string-parsing the ``-dirty`` suffix);
+* re-running a deterministic bench at the same commit must not append a
+  duplicate entry — the history grows on *change*, not on every run.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+import _helpers  # noqa: E402
+from _helpers import record_bench  # noqa: E402
+
+
+@pytest.fixture
+def clean_stamp(monkeypatch):
+    monkeypatch.setattr(_helpers, "git_describe", lambda: "v9-3-gabc1234")
+
+
+class TestDirtyFlag:
+    def test_clean_tree_records_dirty_false(self, tmp_path, clean_stamp):
+        out = record_bench(tmp_path / "b.json", {"metric": 1})
+        assert out["latest"]["dirty"] is False
+        assert out["latest"]["git"] == "v9-3-gabc1234"
+
+    def test_dirty_tree_records_explicit_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            _helpers, "git_describe", lambda: "v9-3-gabc1234-dirty"
+        )
+        out = record_bench(tmp_path / "b.json", {"metric": 1})
+        assert out["latest"]["dirty"] is True
+
+
+class TestDuplicateSuppression:
+    def test_identical_rerun_appends_nothing(self, tmp_path, clean_stamp):
+        path = tmp_path / "b.json"
+        record_bench(path, {"metric": 1.5})
+        out = record_bench(path, {"metric": 1.5})
+        assert len(out["trajectory"]) == 1
+        assert out["latest"]["metric"] == 1.5
+
+    def test_changed_metrics_append(self, tmp_path, clean_stamp):
+        path = tmp_path / "b.json"
+        record_bench(path, {"metric": 1.5})
+        out = record_bench(path, {"metric": 2.0})
+        assert len(out["trajectory"]) == 2
+        assert [e["metric"] for e in out["trajectory"]] == [1.5, 2.0]
+
+    def test_changed_git_stamp_appends(self, tmp_path, monkeypatch):
+        path = tmp_path / "b.json"
+        monkeypatch.setattr(_helpers, "git_describe", lambda: "v1")
+        record_bench(path, {"metric": 1.5})
+        monkeypatch.setattr(_helpers, "git_describe", lambda: "v2")
+        out = record_bench(path, {"metric": 1.5})
+        assert len(out["trajectory"]) == 2
+
+    def test_legacy_flat_record_still_migrates(self, tmp_path, clean_stamp):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"old": "flat record"}))
+        out = record_bench(path, {"metric": 1})
+        assert out["trajectory"][0] == {"old": "flat record"}
+        assert out["trajectory"][1]["metric"] == 1
+        assert json.loads(path.read_text()) == out

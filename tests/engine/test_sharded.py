@@ -12,7 +12,8 @@ import numpy as np
 import pytest
 
 from repro.core import BlissCamPipeline, ci, evaluate_strategy, make_strategy
-from repro.engine import SequenceRunner, Stage, shard_executor
+from repro.engine import SequenceRunner, Stage, contiguous_shards, shard_executor
+from repro.engine.runner import STEAL_FACTOR
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +32,55 @@ class Probe(Stage):
 
 class Seq:
     frames = np.zeros((3, 4, 4))
+
+
+class VarSeq:
+    """A sequence with a chosen frame count (unequal shard loads)."""
+
+    def __init__(self, n_frames: int):
+        self.frames = np.zeros((n_frames, 4, 4))
+
+
+class FatProbe(Stage):
+    """A stage that writes a bulky per-frame product (like a readout)."""
+
+    name = "fat"
+
+    def process(self, ctx, seq):
+        ctx.gaze_pred = (float(ctx.seq_index), float(ctx.t))
+        ctx.readout = np.full((64, 64), float(ctx.t))
+
+
+class TestContiguousShards:
+    def test_more_shards_than_items_drops_empty_pieces(self):
+        shards = contiguous_shards([1, 2, 3], 8)
+        assert shards == [[1], [2], [3]]
+
+    def test_nonpositive_shard_count_raises(self):
+        # Silently returning [] would lose every item.
+        for bad in (0, -1, -7):
+            with pytest.raises(ValueError, match="n_shards"):
+                contiguous_shards([1, 2, 3], bad)
+
+    def test_single_item(self):
+        assert contiguous_shards(["only"], 1) == [["only"]]
+        assert contiguous_shards(["only"], 5) == [["only"]]
+
+    def test_empty_items(self):
+        assert contiguous_shards([], 3) == []
+
+    def test_concat_reproduces_input_in_order(self):
+        # The property every fixed-order merge in the repo stands on.
+        for n_items in (1, 2, 5, 7, 16, 33):
+            items = list(range(n_items))
+            for n_shards in (1, 2, 3, 4, 8, 40):
+                shards = contiguous_shards(items, n_shards)
+                assert [x for shard in shards for x in shard] == items
+                assert all(shard for shard in shards)
+                assert len(shards) <= n_shards
+                # Balanced: piece sizes differ by at most one.
+                sizes = [len(shard) for shard in shards]
+                assert max(sizes) - min(sizes) <= 1
 
 
 class TestShardedRunner:
@@ -106,6 +156,43 @@ class TestShardedRunner:
             assert run.stage_timings["probe"].frames == (
                 per_call.stage_timings["probe"].frames
             )
+
+    def test_steal_factor_oversubscription_preserves_merge_order(self):
+        """Work-stealing shards (workers * STEAL_FACTOR pieces) over
+        sequences of *unequal* lengths still merge sequence-major: short
+        shards finish early and out of submission order, but the parent
+        reduces futures in shard order, so completion order is
+        invisible."""
+        lengths = [9, 1, 7, 2, 8, 1, 6, 3, 5, 2, 4, 1]
+        sequences = [(i, VarSeq(n)) for i, n in enumerate(lengths)]
+        reference = SequenceRunner([Probe()]).run(sequences)
+        with shard_executor(2) as pool:
+            stolen = SequenceRunner([Probe()]).run(
+                sequences, workers=2, executor=pool
+            )
+        # Oversubscription actually engaged: more shards than workers.
+        assert stolen.transport["dispatches"] == min(
+            len(sequences), 2 * STEAL_FACTOR
+        )
+        assert [(c.seq_index, c.t) for c in stolen.contexts] == [
+            (c.seq_index, c.t) for c in reference.contexts
+        ]
+        assert [(c.seq_index, c.t) for c in reference.contexts] == [
+            (i, t) for i, n in enumerate(lengths) for t in range(n)
+        ]
+
+    def test_sharded_merge_drops_intermediates_when_asked(self):
+        """retain_intermediates=False must hold across the shard merge:
+        workers release bulky per-frame products before contexts cross
+        back to the parent, so merges ship results, not frame data."""
+        sequences = [(i, Seq()) for i in range(4)]
+        slim = SequenceRunner([FatProbe()], retain_intermediates=False).run(
+            sequences, workers=2
+        )
+        fat = SequenceRunner([FatProbe()]).run(sequences, workers=2)
+        assert all(c.readout is None for c in slim.contexts)
+        assert all(c.gaze_pred is not None for c in slim.contexts)
+        assert all(c.readout is not None for c in fat.contexts)
 
 
 class TestShardedTracking:
