@@ -1,4 +1,10 @@
-"""Ablation and sensitivity studies beyond the paper's headline figures."""
+"""Analysis tools: ablation studies and the static determinism linter.
+
+``repro.analysis.ablations`` holds the sensitivity studies beyond the
+paper's headline figures; ``repro.analysis.lint`` is the AST-based
+determinism & cross-process-safety checker behind ``repro lint``
+(imported on demand — ``from repro.analysis import lint`` — so the
+numeric ablation path stays import-light)."""
 
 from repro.analysis.ablations import (
     joint_vs_separate,

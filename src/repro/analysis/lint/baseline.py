@@ -1,0 +1,68 @@
+"""Baseline files: adopt the linter on a tree with known findings.
+
+A baseline records the *fingerprints* (rule + path + message, no line
+numbers) of currently-accepted findings so new hazards gate CI while
+the recorded debt is paid down incrementally.  This repository runs at
+a zero baseline — the file support exists for downstream forks and for
+the documented adoption path.
+
+Fingerprints are counted, not just set-membership: two identical
+hazards in one file need two baseline entries, so fixing one of them
+is visible.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    counts = Counter(f.fingerprint for f in findings)
+    record = {
+        "version": _VERSION,
+        "fingerprints": {fp: counts[fp] for fp in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+
+
+def load_baseline(path: str | Path) -> Counter:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path}: not a lint baseline file")
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    fingerprints = data["fingerprints"]
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"{path}: 'fingerprints' must be an object")
+    return Counter({str(k): int(v) for k, v in fingerprints.items()})
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (fresh, absorbed-by-baseline).
+
+    Findings are consumed in report order; a fingerprint with count N
+    absorbs the first N matching findings and any further occurrences
+    stay live.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    absorbed: list[Finding] = []
+    for finding in findings:
+        if remaining[finding.fingerprint] > 0:
+            remaining[finding.fingerprint] -= 1
+            absorbed.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, absorbed

@@ -1,0 +1,147 @@
+"""REP104: float reductions over unordered operands.
+
+Float addition does not associate: summing the same values in a
+different order changes the low bits, and the low bits are exactly what
+this repository pins (PR 4's serving telemetry mandates "all reductions
+over sorted operands" so sharded-replica merges summarize
+byte-identically).  The rule flags the three shapes that smuggle an
+undefined order into a reduction:
+
+* ``sum()``/``math.fsum()``/``functools.reduce()`` over ``set`` values
+  or ``dict`` iteration (``.values()``/``.keys()``/``.items()``) —
+  fix by reducing over ``sorted(...)``;
+* filesystem-order iteration (``glob.glob``, ``Path.glob``/``rglob``,
+  ``os.listdir``/``scandir``, ``Path.iterdir``) not wrapped directly in
+  ``sorted(...)`` — directory order is host-dependent *anywhere* it
+  flows, so this shape is flagged unconditionally;
+* accumulation loops (``for x in <unordered>:`` with ``+=``/``-=`` in
+  the body) — the spelled-out form of the first shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.base import ParsedModule, Rule, resolve_call
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["UnorderedReductionRule"]
+
+_DICT_ITER = {"values", "keys", "items"}
+_FS_METHODS = {"glob", "rglob", "iterdir", "scandir"}
+_FS_CALLS = {"glob.glob", "glob.iglob", "os.listdir", "os.scandir"}
+_REDUCERS = {"sum", "math.fsum", "functools.reduce"}
+
+
+def _is_unordered(node: ast.expr) -> str | None:
+    """A short label when ``node`` iterates in undefined/unsorted order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+        for comp in node.generators:
+            label = _is_unordered(comp.iter)
+            if label:
+                return label
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "set":
+            return "a set"
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_ITER:
+            return f"dict .{func.attr}()"
+        if isinstance(func, ast.Attribute) and func.attr in _FS_METHODS:
+            return f".{func.attr}() filesystem order"
+    return None
+
+
+class UnorderedReductionRule(Rule):
+    rule_id = "REP104"
+    title = "float reduction over unordered operands"
+    rationale = (
+        "Float sums are order-dependent in the low bits; reductions over "
+        "set/dict iteration or filesystem order must run over sorted "
+        "operands to stay bitwise-reproducible across merges and hosts."
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_reduction(module, node)
+                yield from self._check_filesystem(module, node, parents)
+            elif isinstance(node, ast.For):
+                yield from self._check_loop(module, node)
+
+    def _check_reduction(
+        self, module: ParsedModule, call: ast.Call
+    ) -> Iterator[Finding]:
+        if isinstance(call.func, ast.Name) and call.func.id == "sum":
+            reducer, operand_index = "sum", 0
+        else:
+            name = resolve_call(call, module.imports)
+            if name not in _REDUCERS:
+                return
+            reducer = name
+            operand_index = 1 if name == "functools.reduce" else 0
+        if len(call.args) <= operand_index:
+            return
+        label = _is_unordered(call.args[operand_index])
+        if label:
+            yield self.finding(
+                module,
+                call,
+                f"{reducer}() over {label} reduces floats in undefined "
+                "order — reduce over sorted(...) operands",
+            )
+
+    def _check_filesystem(
+        self,
+        module: ParsedModule,
+        call: ast.Call,
+        parents: dict[ast.AST, ast.AST],
+    ) -> Iterator[Finding]:
+        name = resolve_call(call, module.imports)
+        if name in _FS_CALLS:
+            what = name
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _FS_METHODS
+        ):
+            what = f".{call.func.attr}()"
+        else:
+            return
+        parent = parents.get(call)
+        if (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+        ):
+            return
+        yield self.finding(
+            module,
+            call,
+            f"{what} yields host-dependent filesystem order — wrap it "
+            "directly in sorted(...)",
+        )
+
+    def _check_loop(
+        self, module: ParsedModule, loop: ast.For
+    ) -> Iterator[Finding]:
+        label = _is_unordered(loop.iter)
+        if not label:
+            return
+        for node in ast.walk(loop):
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield self.finding(
+                    module,
+                    loop,
+                    f"accumulation loop over {label} reduces in undefined "
+                    "order — iterate sorted(...) operands",
+                )
+                return

@@ -1,0 +1,181 @@
+"""REP106: spec drift — ExperimentSpec fields outside validation/hash coverage.
+
+The spec is the unit of provenance: ``spec_hash``/``section_hash``
+digest ``to_dict()``, which enumerates ``_SECTIONS``, and ``validate()``
+names every bad field eagerly.  Two drift hazards when a field is
+added:
+
+* a new **section** on ``ExperimentSpec`` that never lands in
+  ``_SECTIONS`` is silently dropped from ``to_dict()`` — two specs
+  differing only in that section hash identically, so the session memo
+  replays the wrong cached pipeline;
+* a new **field** that ``validate()`` never checks ships bad values
+  into the run, failing far from the spec boundary with no field name
+  (e.g. a negative seed detonating inside ``default_rng``).
+
+Coverage is judged statically: a field is validated when ``validate()``
+either reads the attribute or names its dotted path
+(``"dataset.seed"``) in a string.  ``bool``-typed fields are exempt —
+type coercion at the spec boundary is their full validation — and
+nested dataclass fields recurse into their own sections.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.lint.base import ParsedModule, Rule
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["SpecDriftRule"]
+
+_SPEC_CLASS = "ExperimentSpec"
+_SECTIONS_NAME = "_SECTIONS"
+_VALIDATE = "validate"
+_BOOL = re.compile(r"\bbool\b")
+
+
+def _class_fields(cls: ast.ClassDef) -> list[tuple[str, str, int]]:
+    """(name, annotation-source, line) of each dataclass field."""
+    out = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            out.append(
+                (stmt.target.id, ast.unparse(stmt.annotation), stmt.lineno)
+            )
+    return out
+
+
+class SpecDriftRule(Rule):
+    rule_id = "REP106"
+    title = "ExperimentSpec field outside validation or hash coverage"
+    rationale = (
+        "Spec fields must be enumerated by _SECTIONS (hash/provenance "
+        "coverage) and checked in validate() (errors name the field at "
+        "the boundary instead of detonating mid-run)."
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        spec = classes.get(_SPEC_CLASS)
+        if spec is None:
+            return
+        sections = self._sections_map(module.tree)
+        attrs, strings = self._validate_surface(spec)
+
+        # Hash coverage: every section field of ExperimentSpec must be a
+        # _SECTIONS key, or to_dict()/spec_hash() silently drops it.
+        if sections is not None:
+            for name, annotation, lineno in _class_fields(spec):
+                if name == "workload" or annotation not in classes:
+                    continue
+                if name not in sections:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.rel,
+                        line=lineno,
+                        col=1,
+                        message=(
+                            f"section field {name!r} is missing from "
+                            f"{_SECTIONS_NAME} — to_dict()/spec_hash() will "
+                            "silently drop it and provenance/memo keys go "
+                            "blind to it"
+                        ),
+                    )
+
+        # Validation coverage, recursing through nested sections.
+        section_items = (
+            sections.items()
+            if sections is not None
+            else []
+        )
+        for key, class_name in section_items:
+            cls = classes.get(class_name)
+            if cls is not None:
+                yield from self._check_section(
+                    module, classes, cls, key, attrs, strings
+                )
+
+    def _check_section(
+        self,
+        module: ParsedModule,
+        classes: dict[str, ast.ClassDef],
+        cls: ast.ClassDef,
+        path: str,
+        attrs: set[str],
+        strings: list[str],
+    ) -> Iterator[Finding]:
+        for name, annotation, lineno in _class_fields(cls):
+            dotted = f"{path}.{name}"
+            if annotation in classes:
+                yield from self._check_section(
+                    module, classes, classes[annotation], dotted, attrs,
+                    strings,
+                )
+                continue
+            if _BOOL.search(annotation):
+                # Type coercion at the spec boundary fully validates a
+                # bool; there is no range to check.
+                continue
+            covered = name in attrs or any(dotted in s for s in strings)
+            if not covered:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=lineno,
+                    col=1,
+                    message=(
+                        f"spec field {dotted!r} is never checked in "
+                        f"{_SPEC_CLASS}.{_VALIDATE}() — bad values will "
+                        "fail far from the spec boundary without naming "
+                        "the field"
+                    ),
+                )
+
+    @staticmethod
+    def _sections_map(tree: ast.Module) -> dict[str, str] | None:
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == _SECTIONS_NAME
+                and isinstance(node.value, ast.Dict)
+            ):
+                out = {}
+                for key, value in zip(node.value.keys, node.value.values):
+                    if isinstance(key, ast.Constant) and isinstance(
+                        value, ast.Name
+                    ):
+                        out[str(key.value)] = value.id
+                return out
+        return None
+
+    @staticmethod
+    def _validate_surface(
+        spec: ast.ClassDef,
+    ) -> tuple[set[str], list[str]]:
+        """Attribute names read and strings mentioned in validate()."""
+        attrs: set[str] = set()
+        strings: list[str] = []
+        for stmt in spec.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == _VALIDATE
+            ):
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Attribute):
+                        attrs.add(node.attr)
+                    elif isinstance(node, ast.Constant) and isinstance(
+                        node.value, str
+                    ):
+                        strings.append(node.value)
+        return attrs, strings

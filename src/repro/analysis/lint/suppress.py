@@ -1,0 +1,87 @@
+"""Inline suppressions: ``# repro: allow[RULE] <reason>``.
+
+A waiver names the rule(s) it silences and **must carry a reason** —
+the waiver policy (docs/linting.md) is that every deliberate exception
+is reviewable at the point of use.  A reason-less ``allow`` suppresses
+nothing and is itself reported as a :data:`MALFORMED` finding, so a
+lazy waiver cannot slip a hazard past the CI gate.
+
+Placement: a trailing comment waives its own line; a comment alone on a
+line waives the next line (for sites too long to annotate in place).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["MALFORMED", "Suppressions", "collect_suppressions"]
+
+#: Pseudo-rule reported for a suppression comment without a reason.
+MALFORMED = "REP000"
+
+_ALLOW = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+class Suppressions:
+    """Which rules are waived on which lines of one file."""
+
+    def __init__(self) -> None:
+        #: line number -> set of waived rule IDs on that line.
+        self._by_line: dict[int, set[str]] = {}
+        #: Reason-less ``allow`` comments, reported as findings.
+        self.malformed: list[Finding] = []
+        #: ``(line, rule)`` pairs that actually waived a finding, for
+        #: unused-waiver reporting.
+        self.used: set[tuple[int, str]] = set()
+
+    def add(self, line: int, rules: set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rules)
+
+    def waives(self, line: int, rule: str) -> bool:
+        if rule in self._by_line.get(line, ()):
+            self.used.add((line, rule))
+            return True
+        return False
+
+
+def collect_suppressions(path: str, source: str) -> Suppressions:
+    """Parse one file's ``allow`` comments.
+
+    Works line-wise on the raw source: suppression comments are part of
+    the lint surface even in files whose AST the rules inspect, and a
+    regex over each line is robust to code the tokenizer would reject.
+    Lines whose only content is the comment extend the waiver to the
+    following line.
+    """
+    sup = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW.search(text)
+        if not match:
+            continue
+        rules = {
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        }
+        reason = match.group("reason").strip().lstrip("-—:").strip()
+        if not reason:
+            sup.malformed.append(
+                Finding(
+                    rule=MALFORMED,
+                    path=path,
+                    line=lineno,
+                    col=match.start() + 1,
+                    message=(
+                        "suppression without a reason — write "
+                        "`# repro: allow[RULE] <why this site is exempt>`"
+                    ),
+                )
+            )
+            continue
+        sup.add(lineno, rules)
+        if text[: match.start()].strip() == "":
+            # Standalone comment line: the waiver targets the next line.
+            sup.add(lineno + 1, rules)
+    return sup

@@ -100,7 +100,9 @@ def stage_timing_table(
     this table attributes *measured* engine seconds per stage of the same
     run, so the two print side by side.
     """
-    total = sum(t["seconds"] for t in stage_timings.values())
+    # Sorted operands: the repo-wide reduction convention (REP104) —
+    # the share column must not depend on stage-dict insertion order.
+    total = sum(t["seconds"] for _, t in sorted(stage_timings.items()))
     table = Table(["engine stage", "ms/frame", "share"], title=title)
     for name, timing in stage_timings.items():
         share = timing["seconds"] / total if total > 0 else 0.0

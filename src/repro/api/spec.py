@@ -347,6 +347,10 @@ class ExperimentSpec:
             )
         if d.blink_rate_hz is not None:
             _require("dataset.blink_rate_hz", d.blink_rate_hz >= 0, ">= 0")
+        # Seeds key numpy RNG streams (default_rng([seed, tag, ...])),
+        # which reject negative entries — catch it here with the field
+        # named instead of detonating inside numpy mid-run (REP106).
+        _require("dataset.seed", d.seed >= 0, ">= 0 (keys RNG streams)")
         n = d.noise
         if n.electrons_per_second_full_scale is not None:
             _require(
@@ -368,6 +372,9 @@ class ExperimentSpec:
         _require("sensor.compression", s.compression >= 1, ">= 1")
         _require("sensor.roi_margin_px", s.roi_margin_px >= 0, ">= 0")
         _require("sensor.reuse_window", s.reuse_window >= 1, ">= 1")
+        _require(
+            "sensor.sensor_seed", s.sensor_seed >= 0, ">= 0 (keys RNG streams)"
+        )
         st = self.strategy
         for i, name in enumerate(st.names):
             if name not in STRATEGIES:
@@ -378,6 +385,7 @@ class ExperimentSpec:
                 )
         _require("strategy.compression", st.compression >= 1, ">= 1")
         _require("strategy.train_epochs", st.train_epochs >= 1, ">= 1")
+        _require("strategy.seed", st.seed >= 0, ">= 0 (keys RNG streams)")
         t = self.training
         if t.epochs is not None:
             _require("training.epochs", t.epochs >= 1, ">= 1")
@@ -433,6 +441,9 @@ class ExperimentSpec:
             "execution.serve.deadline_slack_ticks",
             sv.deadline_slack_ticks >= 0,
             ">= 0",
+        )
+        _require(
+            "execution.serve.seed", sv.seed >= 0, ">= 0 (keys RNG streams)"
         )
         return self
 

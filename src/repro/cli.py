@@ -17,6 +17,8 @@ Commands
 ``power``        headset power-budget report
 ``sweep-fps``    energy saving vs frame rate
 ``sweep-node``   energy saving vs process nodes
+``lint``         static determinism & cross-process-safety checks
+                 (REP101-REP106, see docs/linting.md; gating in CI)
 
 Every subcommand is a thin *spec builder*: it assembles an
 :class:`~repro.api.ExperimentSpec` and hands it to one
@@ -28,7 +30,8 @@ accept ``--fps`` (default 120).
 
 Exit codes: 0 success, 2 spec-validation error (1 is reserved for
 workload-reported failures, e.g. a bitwise-equivalence miss in
-``throughput``).
+``throughput``).  ``lint`` follows the same convention: 0 clean, 1
+findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -203,10 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also time the sharded mode over N worker processes "
                 "(0 disables; >= 2 shards the sequence rank)",
             )
+    # Registered for `repro --help` discoverability only; main()
+    # dispatches `lint` to the linter's own parser before parsing here.
+    sub.add_parser(
+        "lint",
+        add_help=False,
+        help="static determinism checks (REP101-REP106); "
+        "see `repro lint --help`",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # The linter is spec-free: its own parser, its own exit codes
+        # (0 clean / 1 findings / 2 usage error — same convention).
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         spec = _SPEC_BUILDERS[args.command](args)

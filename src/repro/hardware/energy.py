@@ -141,7 +141,9 @@ class EnergyBreakdown:
 
     @property
     def total(self) -> float:
-        return sum(self.components.values())
+        # Sorted operands (REP104): the total must not depend on the
+        # order components were inserted by the model that built them.
+        return sum(v for _, v in sorted(self.components.items()))
 
     @property
     def sensor_side(self) -> float:

@@ -155,5 +155,9 @@ class PhaseController:
         frames = self.frames_completed()
         if frames == 0:
             raise RuntimeError("no complete frames recorded")
-        total = sum(self.dwell_s.values())
+        # Sorted operands (REP104): phase-dict insertion order must not
+        # leak into the float total (Phase enums sort by name).
+        total = sum(
+            v for _, v in sorted(self.dwell_s.items(), key=lambda kv: kv[0].name)
+        )
         return total / frames <= frame_period_s + 1e-12

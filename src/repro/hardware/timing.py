@@ -51,7 +51,9 @@ class LatencyBreakdown:
 
     @property
     def total(self) -> float:
-        return sum(self.stages.values())
+        # Sorted operands (REP104): the total must not depend on the
+        # order stages were inserted by the model that built them.
+        return sum(v for _, v in sorted(self.stages.items()))
 
     @property
     def in_sensor_overhead(self) -> float:

@@ -208,6 +208,26 @@ class TestValidation:
         with pytest.raises(SpecError, match="training.epochs"):
             ExperimentSpec.from_dict({"training": {"epochs": 0}})
 
+    def test_negative_seeds_rejected_at_the_boundary(self):
+        # REP106 regression: seeds key default_rng([seed, tag, ...])
+        # streams, where a negative entry detonates deep inside numpy
+        # with no field name.  validate() must catch it at the boundary.
+        for section, field in (
+            ("dataset", "seed"),
+            ("sensor", "sensor_seed"),
+            ("strategy", "seed"),
+        ):
+            with pytest.raises(SpecError, match=f"{section}.{field}"):
+                ExperimentSpec.from_dict({section: {field: -1}})
+        with pytest.raises(SpecError, match="execution.serve.seed"):
+            ExperimentSpec.from_dict(
+                {"execution": {"serve": {"seed": -1}}}
+            )
+
+    def test_zero_seed_is_valid(self):
+        spec = ExperimentSpec.from_dict({"dataset": {"seed": 0}})
+        assert spec.dataset.seed == 0
+
     def test_empty_indices_rejected(self):
         with pytest.raises(SpecError, match="execution.eval_indices"):
             ExperimentSpec.from_dict({"execution": {"eval_indices": []}})
