@@ -49,7 +49,7 @@ def main() -> None:
         # lockstep, bitwise-identical to the sequential loop (see
         # docs/architecture.md and `python -m repro.cli throughput`).
         result = session.run(spec)
-        assert session.stats["train_cache_hits"] == 1, session.stats
+        assert session.stats()["train_cache_hits"] == 1, session.stats()
 
     print("\n[3/3] results")
     m = result.metrics
@@ -82,7 +82,7 @@ def main() -> None:
     print(timing_table.render())
 
     print(
-        f"\nsession stats: {session.stats} — the second run of the same "
+        f"\nsession stats: {session.stats()} — the second run of the same "
         "spec would retrain nothing."
     )
 

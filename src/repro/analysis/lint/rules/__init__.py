@@ -14,6 +14,7 @@ from repro.analysis.lint.rules.rep103_shard_jobs import ShardJobRule
 from repro.analysis.lint.rules.rep104_reductions import UnorderedReductionRule
 from repro.analysis.lint.rules.rep105_shared_mutation import SharedMutationRule
 from repro.analysis.lint.rules.rep106_spec_drift import SpecDriftRule
+from repro.analysis.lint.rules.rep107_store_keys import StoreKeyRule
 
 __all__ = ["ALL_RULES"]
 
@@ -24,4 +25,5 @@ ALL_RULES = (
     UnorderedReductionRule(),
     SharedMutationRule(),
     SpecDriftRule(),
+    StoreKeyRule(),
 )

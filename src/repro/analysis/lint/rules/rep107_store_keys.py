@@ -1,0 +1,135 @@
+"""REP107: identity-derived artifact-store keys.
+
+The artifact store's entire resume guarantee is that a *different
+process* re-derives the *same* key from the same spec: keys must be
+built from content hashes (``spec_hash``/``section_hash``, transport
+digests), registry names and plain scalars.  ``repr()``/``str()`` of a
+live object bakes in whatever the object's repr happens to include —
+often a memory address (``<Pipeline object at 0x7f...>``) and always an
+unstable rendering — and ``id()``/``hash()`` are process identity by
+definition.  A store keyed that way *works* in the process that wrote
+it and silently never hits again after a restart: the cache reports
+misses, everything retrains, and the resume pin quietly becomes a
+full re-run.  This rule flags identity-derived expressions inside the
+key argument of store/key seams (``store.put/get/contains/remove``,
+``store_digest``, ``canonical_key``, ``digest_for``) so the bug is a
+lint finding, not a mystery cold cache.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.base import ParsedModule, Rule
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["StoreKeyRule"]
+
+#: Method names that take a store key as their first argument when
+#: called on a store-ish receiver.
+_STORE_METHODS = ("put", "get", "contains", "remove", "digest_for")
+
+#: Module-level key functions (matched by name — they are this repo's
+#: own ``repro.store`` seams, imported directly).
+_KEY_FUNCTIONS = ("store_digest", "canonical_key")
+
+#: Receiver-name fragments that make a method call a store seam
+#: (mirrors REP103's ``executor``/``pool`` convention).
+_STOREISH = ("store",)
+
+#: Identity-deriving builtins: never valid inside a store key.
+_IDENTITY_CALLS = ("repr", "id", "hash")
+
+
+def _receiver_text(func: ast.Attribute) -> str:
+    node = func.value
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
+def _key_argument(node: ast.Call) -> ast.expr | None:
+    """The key expression of a store-seam call, positional or ``key=``."""
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "key":
+            return kw.value
+    return None
+
+
+class StoreKeyRule(Rule):
+    rule_id = "REP107"
+    title = "identity-derived artifact-store key"
+    rationale = (
+        "Store keys must be re-derivable by a restarted process: build "
+        "them from spec_hash/section_hash/transport digests, registry "
+        "names and scalars — repr()/str() of live objects and "
+        "id()/hash() encode process identity and turn every resume "
+        "into a silent cold cache."
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr not in _STORE_METHODS:
+                    continue
+                receiver = _receiver_text(func)
+                if not any(hint in receiver for hint in _STOREISH):
+                    continue
+            elif isinstance(func, ast.Name):
+                if func.id not in _KEY_FUNCTIONS:
+                    continue
+            else:
+                continue
+            key = _key_argument(node)
+            if key is not None:
+                yield from self._check_key(module, key)
+
+    def _check_key(
+        self, module: ParsedModule, key: ast.expr
+    ) -> Iterator[Finding]:
+        for node in ast.walk(key):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                name = node.func.id
+                if name in _IDENTITY_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"store key built from {name}() — {name}() encodes "
+                        "process identity; derive the key from "
+                        "spec_hash/section_hash/transport digests instead",
+                    )
+                elif name == "str" and node.args and not isinstance(
+                    node.args[0], ast.Constant
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "store key built from str(<object>) — object "
+                        "renderings are not stable across processes; use "
+                        "the object's content hash (spec_hash/"
+                        "section_hash/transport digest) or a registry "
+                        "name instead",
+                    )
+            elif (
+                isinstance(node, ast.FormattedValue)
+                and node.conversion == ord("r")
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "store key built from an f-string !r conversion — "
+                    "repr() encodes process identity; derive the key "
+                    "from content hashes or registry names instead",
+                )

@@ -3,7 +3,8 @@
 A :class:`Session` owns the expensive, reusable state that the ad-hoc
 entry points used to rebuild per call:
 
-* **one persistent worker pool** (:func:`repro.engine.shard_executor`),
+* **persistent executor backends** (one live backend per
+  ``execution.backend`` kind — see :mod:`repro.engine.executors`),
   created on first sharded run and reused by every subsequent run — with
   shard work stealing for unequal sequence lengths — instead of the
   historical fork-a-pool-per-``run()`` in ``engine/runner.py``;
@@ -12,15 +13,25 @@ entry points used to rebuild per call:
   one joint training (and the sensor templates cached inside it);
 * **memoized per-strategy training** for Fig. 15 sweeps, including the
   post-training RNG state so a cache hit replays evaluation
-  bitwise-identically.
+  bitwise-identically;
+* optionally, a **persistent artifact store**
+  (:class:`~repro.store.ArtifactStore`): ``Session(store=...)`` writes
+  every persisted memo entry (and completed ``RunResult``\\ s) to disk
+  and hydrates misses from it, so a killed sweep restarts, replays the
+  completed strategies bitwise from disk, and only computes what is
+  actually missing.  ``resume=True`` additionally reuses whole stored
+  ``RunResult``\\ s keyed by the spec hash.
 
 ``Session.run`` validates the spec, dispatches to the registered
-workload, and stamps provenance (spec hash, seed, workers, git describe,
-the full spec) onto the returned :class:`~repro.api.result.RunResult`.
+workload, and stamps provenance (spec hash, seed, workers, backend, git
+describe, the ``cache_hits`` the run skipped work for, the full spec)
+onto the returned :class:`~repro.api.result.RunResult`.
 """
 
 from __future__ import annotations
 
+import pickle
+from pathlib import Path
 from typing import Any, Callable
 
 from dataclasses import replace
@@ -28,7 +39,9 @@ from dataclasses import replace
 from repro.api.result import RunResult, git_describe
 from repro.api.spec import ExperimentSpec, SpecError
 from repro.core import BlissCamPipeline, ci, paper
-from repro.engine import TransportChannel, shard_executor
+from repro.engine import TransportChannel
+from repro.engine.executors import make_executor
+from repro.store import ArtifactStore, StoreError, canonical_key
 from repro.synth import GazeDynamicsConfig
 
 __all__ = ["Session", "system_config", "LIVELY_DYNAMICS"]
@@ -105,43 +118,98 @@ def system_config(spec: ExperimentSpec):
     return config
 
 
+class _CountingSink:
+    """A write-only sink that measures a pickle without keeping it."""
+
+    def __init__(self):
+        self.nbytes = 0
+
+    def write(self, data) -> int:
+        # Protocol-5 pickles hand large arrays over as PickleBuffer
+        # objects (no len()); the buffer protocol sizes everything.
+        n = memoryview(data).nbytes
+        self.nbytes += n
+        return n
+
+
+def _pickled_nbytes(value: Any) -> int:
+    """Serialized size of ``value`` without materializing the blob.
+
+    Best-effort observability: an unpicklable memo value accounts as 0
+    rather than failing the caller (the memo itself never needed
+    pickling to work in-process).
+    """
+    sink = _CountingSink()
+    try:
+        pickle.Pickler(sink, protocol=pickle.HIGHEST_PROTOCOL).dump(value)
+    except Exception:
+        return 0
+    return sink.nbytes
+
+
 class Session:
     """A reusable runtime: ``run()`` as many specs as you like, cheaply.
 
-    Usable as a context manager; :meth:`close` shuts the worker pool
-    down.  All caches are per-session — two sessions share nothing.
+    Usable as a context manager; :meth:`close` shuts the executor
+    backends down.  All in-memory caches are per-session — two sessions
+    share nothing — but an attached :class:`~repro.store.ArtifactStore`
+    is durable state *across* sessions: that is what makes a killed
+    sweep resumable.
     """
 
-    def __init__(self):
-        self._executor = None
-        self._executor_workers = 0
+    def __init__(
+        self,
+        store: ArtifactStore | str | Path | None = None,
+        resume: bool = False,
+    ):
+        #: One live backend per ``execution.backend`` kind, grow-only.
+        self._executors: dict[str, Any] = {}
         self._transport = None
         self._closed = False
         self._memo: dict[Any, Any] = {}
+        #: Serialized-size accounting per memo entry (``stats()``).
+        self._memo_bytes: dict[Any, int] = {}
+        #: Work skipped by the *current* ``run()`` (reset per run,
+        #: stamped into ``provenance.cache_hits``).
+        self._cache_hits: list[dict] = []
+        self.store = (
+            store
+            if store is None or isinstance(store, ArtifactStore)
+            else ArtifactStore(store)
+        )
+        #: Reuse whole stored ``RunResult``\ s keyed by spec hash.
+        self.resume = bool(resume)
         #: Observability counters: how often the session saved work.
-        self.stats = {
+        self._counters = {
             "runs": 0,
             "train_cache_hits": 0,
             "train_cache_misses": 0,
             "pools_created": 0,
+            "store_hydrations": 0,
         }
 
-    # -- persistent pool -----------------------------------------------------
-    def executor(self, workers: int):
-        """The session pool, grown to at least ``workers``; ``None`` for
-        in-process runs.  Grow-only: asking for fewer workers than the
-        current pool has reuses the bigger pool (idle workers are cheap,
-        re-forking is the cost this session exists to amortize)."""
+    # -- persistent executor backends ----------------------------------------
+    def executor(self, workers: int, backend: str = "process_pool"):
+        """The session's live backend of the given kind, grown to at
+        least ``workers``; ``None`` for in-process runs (``workers < 2``
+        or ``backend == "in_process"`` — the serial reference path).
+
+        Grow-only per backend: asking for fewer workers than the current
+        backend has reuses the bigger one (idle workers are cheap,
+        re-forking is the cost this session exists to amortize).
+        Growing drains the old backend first (``shutdown(wait=True)``)
+        so in-flight shard jobs complete before their pool goes away."""
         self._check_open()
-        if workers < 2:
+        if workers < 2 or backend == "in_process":
             return None
-        if self._executor is None or workers > self._executor_workers:
-            if self._executor is not None:
-                self._executor.shutdown()
-            self._executor = shard_executor(workers)
-            self._executor_workers = workers
-            self.stats["pools_created"] += 1
-        return self._executor
+        current = self._executors.get(backend)
+        if current is None or workers > current.max_workers:
+            if current is not None:
+                current.shutdown(wait=True)
+            current = make_executor(backend, workers)
+            self._executors[backend] = current
+            self._counters["pools_created"] += 1
+        return current
 
     def transport(self) -> TransportChannel:
         """The session's shared-memory transport channel, created lazily.
@@ -158,37 +226,110 @@ class Session:
 
     @property
     def pool_workers(self) -> int:
-        """Current size of the persistent pool (0 = no pool yet).  May
-        exceed what the last run asked for — the pool is grow-only —
-        which matters when interpreting timing comparisons."""
-        return self._executor_workers
+        """Largest live backend size (0 = no backend yet).  May exceed
+        what the last run asked for — backends are grow-only — which
+        matters when interpreting timing comparisons."""
+        return max(
+            (ex.max_workers for ex in self._executors.values()), default=0
+        )
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters plus memo occupancy (and store stats when attached).
+
+        ``memo_entries``/``memo_bytes`` account the in-memory cache —
+        the long-sweep memory-growth signal the memo itself (unbounded
+        by design: evicting a trained pipeline mid-sweep would silently
+        retrain) cannot give you.  ``memo_bytes`` is serialized size,
+        measured without materializing the pickles.
+        """
+        out = dict(self._counters)
+        out["memo_entries"] = len(self._memo)
+        out["memo_bytes"] = sum(sorted(self._memo_bytes.values()))
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+    def _record_hit(self, key: Any, source: str) -> None:
+        """Append a ``provenance.cache_hits`` entry for a skipped
+        training (``source``: ``"memory"`` or ``"store"``)."""
+        try:
+            parts = canonical_key(key)
+        except StoreError:
+            # A non-canonical (object-bearing) key can still hit the
+            # in-memory memo; it just has no serializable provenance.
+            return
+        self._cache_hits.append(
+            {
+                "kind": str(parts[0]) if parts else "unknown",
+                "key": parts,
+                "source": source,
+            }
+        )
 
     # -- memoized training ---------------------------------------------------
     def memo(
-        self, key: Any, factory: Callable[[], Any], *, training: bool = True
+        self,
+        key: Any,
+        factory: Callable[[], Any],
+        *,
+        training: bool = True,
+        persist: bool | None = None,
     ) -> Any:
         """Session-lifetime memoization of expensive work.
 
         ``training=False`` keeps the access out of the
         ``train_cache_hits``/``train_cache_misses`` counters — those
         count *trainings saved*, not every cached object (datasets,
-        templates)."""
+        templates).
+
+        ``persist`` controls the attached store (defaults to
+        ``training``): persisted misses are written through to disk and
+        persisted lookups hydrate from disk before computing — the
+        resume path.  Datasets and other cheap-to-rebuild objects pass
+        ``training=False`` and so skip the store by default."""
+        if persist is None:
+            persist = training
         if key in self._memo:
             if training:
-                self.stats["train_cache_hits"] += 1
-        else:
-            if training:
-                self.stats["train_cache_misses"] += 1
-            self._memo[key] = factory()
-        return self._memo[key]
+                self._counters["train_cache_hits"] += 1
+                self._record_hit(key, "memory")
+            return self._memo[key]
+        if persist and self.store is not None and self.store.contains(key):
+            try:
+                value = self.store.get(key)
+            except KeyError:
+                # Refused entry (stale format / torn payload): fall
+                # through and recompute.
+                pass
+            else:
+                if training:
+                    self._counters["train_cache_hits"] += 1
+                    self._record_hit(key, "store")
+                self._counters["store_hydrations"] += 1
+                self._memo[key] = value
+                self._memo_bytes[key] = _pickled_nbytes(value)
+                return value
+        if training:
+            self._counters["train_cache_misses"] += 1
+        value = factory()
+        self._memo[key] = value
+        self._memo_bytes[key] = _pickled_nbytes(value)
+        if persist and self.store is not None:
+            self.store.put(key, value)
+        return value
 
     def cached(self, key: Any) -> bool:
-        """Whether ``key`` is already memoized (no counters touched).
+        """Whether ``key`` is already memoized — in memory or, with a
+        store attached, on disk (no counters touched).
 
         Lets workloads decide *where* to compute a miss — e.g. the
         strategy sweep fans uncached trainings out across the pool while
-        cache hits replay in-process."""
-        return key in self._memo
+        cache hits (including store hits: the resume path) replay
+        in-process."""
+        if key in self._memo:
+            return True
+        return self.store is not None and self.store.contains(key)
 
     def pipeline(self, spec: ExperimentSpec) -> BlissCamPipeline:
         """A *trained* pipeline for the spec, memoized by its
@@ -217,11 +358,12 @@ class Session:
             # Sharded training needs the data-parallel schedule; the
             # stepped schedule always trains in-process (workers only
             # accelerate evaluation there).  Either way the result is
-            # independent of the worker count.
-            if config.joint.grad_accum and workers >= 2:
+            # independent of the worker count *and* of the backend.
+            executor = self.executor(workers, spec.execution.backend)
+            if config.joint.grad_accum and executor is not None:
                 shard_kwargs = {
                     "workers": workers,
-                    "executor": self.executor(workers),
+                    "executor": executor,
                     "transport": self.transport(),
                 }
             else:
@@ -236,7 +378,13 @@ class Session:
 
     # -- the front door ------------------------------------------------------
     def run(self, spec: ExperimentSpec | dict) -> RunResult:
-        """Validate ``spec``, execute its workload, stamp provenance."""
+        """Validate ``spec``, execute its workload, stamp provenance.
+
+        With a store attached, every completed ``RunResult`` is
+        persisted under ``("run_result", spec_hash)``; with
+        ``resume=True``, a stored result for an identical spec is
+        returned directly (its ``cache_hits`` restamped to say so)
+        instead of re-running the workload."""
         from repro.api.registry import WORKLOADS
 
         self._check_open()
@@ -248,17 +396,40 @@ class Session:
             raise SpecError(
                 "<root>", f"expected ExperimentSpec or dict, got {type(spec)!r}"
             )
+        self._cache_hits = []
+        run_key = ("run_result", spec.spec_hash())
+        if (
+            self.resume
+            and self.store is not None
+            and self.store.contains(run_key)
+        ):
+            try:
+                result = self.store.get(run_key)
+            except KeyError:
+                pass  # refused entry: fall through and re-run
+            else:
+                self._record_hit(run_key, "store")
+                result.provenance = {
+                    **result.provenance,
+                    "cache_hits": list(self._cache_hits),
+                }
+                self._counters["runs"] += 1
+                return result
         workload = WORKLOADS.get(spec.workload)
         result = workload(self, spec)
         result.provenance = {
             "spec_hash": spec.spec_hash(),
             "seed": spec.dataset.seed,
             "workers": spec.execution.workers,
+            "backend": spec.execution.backend,
             "git": git_describe(),
+            "cache_hits": list(self._cache_hits),
             "spec": spec.to_dict(),
             **result.provenance,
         }
-        self.stats["runs"] += 1
+        self._counters["runs"] += 1
+        if self.store is not None:
+            self.store.put(run_key, result)
         return result
 
     # -- lifecycle -----------------------------------------------------------
@@ -270,14 +441,13 @@ class Session:
             )
 
     def close(self) -> None:
-        """Shut the worker pool down and retire the session.  Idempotent;
-        any later ``run()``/``executor()``/``with`` use raises cleanly
-        instead of silently re-forking a pool the caller thought was
-        released."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
-            self._executor_workers = 0
+        """Shut every executor backend down and retire the session.
+        Idempotent; any later ``run()``/``executor()``/``with`` use
+        raises cleanly instead of silently re-forking a pool the caller
+        thought was released."""
+        for backend in self._executors.values():
+            backend.shutdown(wait=True)
+        self._executors = {}
         if self._transport is not None:
             self._transport.close()
             self._transport = None

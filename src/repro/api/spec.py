@@ -200,6 +200,14 @@ class ExecutionSection:
 
     #: Worker processes; >= 2 shards the sequence rank.
     workers: int = 1
+    #: Executor backend the sharded paths dispatch through (a
+    #: :data:`repro.engine.executors.EXECUTOR_BACKENDS` name):
+    #: ``process_pool`` (the production fork pool + shm transport),
+    #: ``thread``, ``file_queue`` (spooled-file job queue — the external
+    #: cluster stand-in), or ``in_process`` (serial reference; forces
+    #: the unsharded path regardless of ``workers``).  All backends are
+    #: bitwise-identical for any job set.
+    backend: str = "process_pool"
     #: Vectorized lockstep mode (bitwise-identical to sequential).
     batched: bool = False
     #: Lockstep width bound; ``None`` runs all sequences in one rank.
@@ -305,6 +313,15 @@ class ExperimentSpec:
             execution=dataclasses.replace(self.execution, workers=workers),
         )
 
+    def with_backend(self, backend: str | None) -> "ExperimentSpec":
+        """A copy with ``execution.backend`` overridden (CLI ``--backend``)."""
+        if backend is None:
+            return self
+        return dataclasses.replace(
+            self,
+            execution=dataclasses.replace(self.execution, backend=backend),
+        )
+
     # -- validation ----------------------------------------------------------
     def validate(self) -> "ExperimentSpec":
         """Check enums, registries and value ranges; returns ``self``."""
@@ -399,6 +416,17 @@ class ExperimentSpec:
         _indices_ok("training.train_indices", t.train_indices, num_sequences)
         e = self.execution
         _require("execution.workers", e.workers >= 1, ">= 1")
+        # The backend registry lives in the engine layer; imported here
+        # (not hard-coded) so a new backend registers in exactly one
+        # place and the spec surface follows.
+        from repro.engine.executors import EXECUTOR_BACKENDS
+
+        if e.backend not in EXECUTOR_BACKENDS:
+            raise SpecError(
+                "execution.backend",
+                f"unknown executor backend {e.backend!r}; "
+                f"choose from {sorted(EXECUTOR_BACKENDS)}",
+            )
         if e.batch_size is not None:
             _require("execution.batch_size", e.batch_size >= 1, ">= 1")
         _require("execution.repeats", e.repeats >= 1, ">= 1")

@@ -51,12 +51,16 @@ def _split_indices(spec: ExperimentSpec, dataset):
 
 
 def _sharding(session: Session, spec: ExperimentSpec):
-    """(workers, executor, transport) for the engine: the session pool
-    and its shared-memory transport channel when sharded."""
+    """(workers, executor, transport) for the engine: the session's
+    executor backend (``execution.backend``) and its shared-memory
+    transport channel when sharded.  ``backend: in_process`` (or
+    ``workers < 2``) returns the all-``None`` triple — the serial
+    reference path every backend is pinned against."""
     workers = spec.execution.workers
-    if workers < 2:
+    executor = session.executor(workers, spec.execution.backend)
+    if executor is None:
         return None, None, None
-    return workers, session.executor(workers), session.transport()
+    return workers, executor, session.transport()
 
 
 def strategy_rng(base_seed: int, name: str) -> np.random.Generator:
@@ -388,12 +392,12 @@ def run_throughput(session: Session, spec: ExperimentSpec) -> RunResult:
         transport=transport,
     )
     if executor is not None:
-        # The session pool is grow-only: a previous run may have left it
-        # larger than this spec's `workers`, in which case the
+        # Session backends are grow-only: a previous run may have left
+        # this one larger than the spec's `workers`, in which case the
         # persistent-mode timing had more parallelism than the per-call
-        # baseline.  Record the actual pool size so pool_reuse_speedup
-        # is interpretable.
-        record["pool_workers"] = session.pool_workers
+        # baseline.  Record the actual backend size so
+        # pool_reuse_speedup is interpretable.
+        record["pool_workers"] = executor.max_workers
     return RunResult(
         workload="throughput",
         metrics=record,

@@ -2,7 +2,10 @@
 
 Commands
 --------
-``run``          execute a declarative experiment spec (JSON file)
+``run``          execute a declarative experiment spec (JSON file);
+                 ``--store DIR`` attaches a persistent artifact store and
+                 ``--resume`` replays completed work from it bitwise
+                 (``--backend`` overrides ``execution.backend``)
 ``quickstart``   train + evaluate the end-to-end pipeline (CI scale;
                  ``--train-batch-size``/``--grad-accum`` select the
                  training-runtime schedule, see docs/training.md)
@@ -18,7 +21,9 @@ Commands
 ``sweep-fps``    energy saving vs frame rate
 ``sweep-node``   energy saving vs process nodes
 ``lint``         static determinism & cross-process-safety checks
-                 (REP101-REP106, see docs/linting.md; gating in CI)
+                 (REP101-REP107, see docs/linting.md; gating in CI)
+``store``        inspect/maintain a persistent artifact store
+                 (``ls``/``rm``/``gc``; see docs/architecture.md)
 
 Every subcommand is a thin *spec builder*: it assembles an
 :class:`~repro.api.ExperimentSpec` and hands it to one
@@ -153,6 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="override the spec's execution.workers",
             )
+            cmd.add_argument(
+                "--backend",
+                default=None,
+                help="override the spec's execution.backend "
+                "(process_pool / thread / file_queue / in_process)",
+            )
+            cmd.add_argument(
+                "--store",
+                metavar="DIR",
+                default=None,
+                help="attach a persistent artifact store: trained "
+                "pipelines, per-strategy trainings and the RunResult "
+                "are written through to this directory",
+            )
+            cmd.add_argument(
+                "--resume",
+                action="store_true",
+                help="replay completed work from --store instead of "
+                "recomputing it (byte-identical results; "
+                "provenance.cache_hits records what was skipped)",
+            )
             continue
         if name == "serve":
             cmd.add_argument(
@@ -211,8 +237,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "lint",
         add_help=False,
-        help="static determinism checks (REP101-REP106); "
+        help="static determinism checks (REP101-REP107); "
         "see `repro lint --help`",
+    )
+    sub.add_parser(
+        "store",
+        add_help=False,
+        help="artifact-store maintenance (ls/rm/gc); "
+        "see `repro store --help`",
     )
     return parser
 
@@ -225,18 +257,38 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.lint import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "store":
+        # Store maintenance is spec-free too: its own parser/exit codes.
+        from repro.store.cli import main as store_main
+
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         spec = _SPEC_BUILDERS[args.command](args)
         workers = getattr(args, "workers", None)
-        if workers:  # None or 0 keep the spec's value
+        backend = getattr(args, "backend", None)
+        if workers or backend:  # None or 0 keep the spec's value
             # Re-validate: the override must fail here (exit 2), not as
             # a traceback out of Session.run.
-            spec = spec.with_workers(workers).validate()
+            spec = (
+                spec.with_workers(workers or None)
+                .with_backend(backend)
+                .validate()
+            )
+        store = getattr(args, "store", None)
+        if getattr(args, "resume", False) and not store:
+            print(
+                "spec error: --resume needs --store (nowhere to resume "
+                "from)",
+                file=sys.stderr,
+            )
+            return 2
     except (SpecError, OSError) as exc:
         print(f"spec error: {exc}", file=sys.stderr)
         return 2
-    with Session() as session:
+    with Session(
+        store=store, resume=getattr(args, "resume", False)
+    ) as session:
         if spec.workload in _TRAINING_WORKLOADS:
             print("training...")
         result = session.run(spec)

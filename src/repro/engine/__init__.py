@@ -29,6 +29,15 @@ from repro.engine.runner import (
     contiguous_shards,
     shard_executor,
 )
+from repro.engine.executors import (
+    EXECUTOR_BACKENDS,
+    ExecutorBackend,
+    FileQueueBackend,
+    InProcessExecutor,
+    ProcessPoolBackend,
+    ThreadBackend,
+    make_executor,
+)
 from repro.engine.stage import Stage, StageGraph
 from repro.engine.transport import (
     ObjectHandle,
@@ -62,6 +71,13 @@ __all__ = [
     "StageTiming",
     "contiguous_shards",
     "shard_executor",
+    "ExecutorBackend",
+    "InProcessExecutor",
+    "ProcessPoolBackend",
+    "ThreadBackend",
+    "FileQueueBackend",
+    "EXECUTOR_BACKENDS",
+    "make_executor",
     "TransportChannel",
     "TransportError",
     "ObjectHandle",

@@ -1,0 +1,403 @@
+"""Pluggable executor backends behind one ``submit``-shaped protocol.
+
+Every sharded path in the repository (engine sequence-rank sharding,
+strategy-sweep fan-out, data-parallel training epochs, serve scheduler
+replicas) dispatches module-level jobs through a single seam:
+``executor.submit(job, *args)`` with results collected in fixed futures
+order.  This module formalizes the seam the runtime has used implicitly
+since PR 2 into an explicit :class:`ExecutorBackend` protocol —
+``submit`` / ``map`` / ``shutdown`` / ``max_workers`` — with four
+interchangeable backends:
+
+* :class:`InProcessExecutor` — runs every job synchronously at submit
+  time.  The *deterministic reference*: zero concurrency, zero
+  processes, exactly the semantics every other backend is pinned
+  bitwise against.
+* :class:`ProcessPoolBackend` — today's production backend: a
+  :func:`~repro.engine.runner.shard_executor` process pool (fork
+  context), composed with the shared-memory transport channel by the
+  callers that own one.
+* :class:`ThreadBackend` — a thread pool, for the GIL-light BLAS-heavy
+  kernels (the attention matmuls, vectorized eventification): no
+  process boundary, no pickling, shared address space.
+* :class:`FileQueueBackend` — jobs round-trip through *spooled files*:
+  ``submit`` pickles ``(fn, args, kwargs)`` to a job file in a spool
+  directory, detached worker processes claim job files by atomic
+  rename, execute, and publish result files the future polls for.  The
+  minimal "external cluster" stand-in: nothing crosses except bytes on
+  a filesystem, which *proves* every shard job is self-contained — and
+  its claim/execute/publish loop is exactly the seam a real scheduler
+  backend (SLURM/SGE submit scripts, a distributed queue) plugs into
+  later.
+
+Determinism: all backends execute the same module-level job functions
+on the same payloads and results are consumed in submission order, so
+any job set whose jobs are independent (the repository's invariant —
+per-sequence RNG streams, no cross-shard state) produces bitwise
+identical merged results on every backend.  ``tests/engine/
+test_executors.py`` pins all four against the in-process reference.
+
+Backends are selected declaratively via the spec field
+``execution.backend`` (see ``docs/api.md``); ``repro.api.Session``
+caches one live backend per kind with the same grow-only contract the
+historical process pool had.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import traceback
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+__all__ = [
+    "ExecutorBackend",
+    "InProcessExecutor",
+    "ProcessPoolBackend",
+    "ThreadBackend",
+    "FileQueueBackend",
+    "FileQueueJobError",
+    "EXECUTOR_BACKENDS",
+    "make_executor",
+    "SPOOL_PREFIX",
+]
+
+#: File-queue spool directories carry this prefix (leak checks mirror
+#: the transport layer's ``/dev/shm`` convention).
+SPOOL_PREFIX = "reproq_"
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """The executor seam every sharded path dispatches through.
+
+    ``max_workers`` is the parallelism the backend was built for (the
+    shard-cut width callers size against); ``submit`` returns a future
+    whose ``result()`` blocks; ``map`` applies a function over iterables
+    in order; ``shutdown(wait=True)`` drains in-flight work before
+    releasing resources.  After ``shutdown`` every ``submit`` raises
+    ``RuntimeError`` — callers holding a stale backend fail loudly
+    instead of silently re-forking.
+    """
+
+    max_workers: int
+
+    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any): ...
+
+    def map(self, fn: Callable, *iterables: Iterable) -> Iterable: ...
+
+    def shutdown(self, wait: bool = True) -> None: ...
+
+
+# -- in-process reference ------------------------------------------------------
+class InProcessExecutor:
+    """Serial, synchronous execution: the deterministic reference.
+
+    ``submit`` runs the job *immediately* in the calling process and
+    returns an already-completed future.  ``max_workers`` records the
+    parallelism the caller sized its shard cut for — the cut happens
+    either way and shard boundaries never affect results, so the output
+    is bitwise identical to every concurrent backend.
+    """
+
+    name = "in_process"
+
+    def __init__(self, max_workers: int = 1):
+        self.max_workers = max(1, int(max_workers))
+        self._closed = False
+
+    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any) -> Future:
+        if self._closed:
+            raise RuntimeError("cannot schedule new futures after shutdown")
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
+
+    def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
+        return [self.submit(fn, *args).result() for args in zip(*iterables)]
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+
+
+# -- pool-wrapping backends ----------------------------------------------------
+class ProcessPoolBackend:
+    """The production backend: a fork-context process pool.
+
+    Wraps :func:`repro.engine.runner.shard_executor` (the canonical
+    pool constructor) behind the protocol; callers that own a
+    :class:`~repro.engine.transport.TransportChannel` compose it with
+    this backend so shard payloads cross as shared-memory handles.
+    """
+
+    name = "process_pool"
+
+    def __init__(self, max_workers: int):
+        from repro.engine.runner import shard_executor
+
+        self.max_workers = int(max_workers)
+        self._pool = shard_executor(self.max_workers)
+
+    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any):
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
+        return self._pool.map(fn, *iterables)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+class ThreadBackend:
+    """A thread pool for GIL-light kernels: no pickling, shared memory.
+
+    The repository's numeric kernels spend their time inside BLAS and
+    vectorized numpy, which release the GIL; shard jobs keep all
+    cross-frame state in per-sequence ``SequenceState`` objects, so
+    threads sharing one resolved payload race on nothing.  Bitwise
+    identical to the in-process reference (pinned).
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int):
+        self.max_workers = int(max_workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="repro-shard",
+        )
+
+    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any):
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
+        return self._pool.map(fn, *iterables)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+# -- file-queue backend --------------------------------------------------------
+class FileQueueJobError(RuntimeError):
+    """A file-queue job raised in its worker; carries the traceback."""
+
+
+def _file_queue_worker(
+    jobs_dir: str, results_dir: str, stop_path: str, poll_s: float
+) -> None:
+    """Worker loop: claim job files by atomic rename, execute, publish.
+
+    Module-level so the fork-spawned worker process has a clean entry
+    point.  Claiming is ``os.rename(name.job -> name.claimed)`` — atomic
+    on POSIX, so exactly one worker wins each job.  Results publish the
+    same way jobs do: write-then-rename, so the dispatcher never reads a
+    torn result.
+    """
+    jobs = Path(jobs_dir)
+    results = Path(results_dir)
+    stop = Path(stop_path)
+    while True:
+        claimed = None
+        # Sorted glob (REP104): claim in submission order so a single
+        # worker drains the queue FIFO.
+        for job_path in sorted(jobs.glob("*.job")):
+            target = job_path.with_suffix(".claimed")
+            try:
+                os.rename(job_path, target)
+            except OSError:
+                continue  # another worker won the claim
+            claimed = target
+            break
+        if claimed is None:
+            if stop.exists():
+                return
+            time.sleep(poll_s)  # repro: allow[REP102] queue poll backoff, not a data path
+            continue
+        try:
+            fn, args, kwargs = pickle.loads(claimed.read_bytes())
+            payload: tuple = ("ok", fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - shipped to dispatcher
+            payload = (
+                "error",
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            )
+        name = claimed.stem
+        tmp = results / f".tmp-{name}"
+        tmp.write_bytes(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, results / f"{name}.result")
+        claimed.unlink()
+
+
+class _FileQueueFuture:
+    """A future backed by a result file the worker will publish."""
+
+    def __init__(self, path: Path, poll_s: float):
+        self._path = path
+        self._poll_s = poll_s
+        self._payload: tuple | None = None
+
+    def done(self) -> bool:
+        return self._payload is not None or self._path.exists()
+
+    def _load(self) -> tuple:
+        if self._payload is None:
+            self._payload = pickle.loads(self._path.read_bytes())
+        return self._payload
+
+    def result(self, timeout: float | None = None) -> Any:
+        deadline = (
+            None
+            if timeout is None
+            else time.monotonic() + timeout  # repro: allow[REP102] future timeout bookkeeping
+        )
+        while not self._path.exists():
+            if deadline is not None and time.monotonic() > deadline:  # repro: allow[REP102] future timeout bookkeeping
+                raise TimeoutError(f"file-queue result {self._path.name}")
+            time.sleep(self._poll_s)  # repro: allow[REP102] result poll backoff, not a data path
+        payload = self._load()
+        if payload[0] == "ok":
+            return payload[1]
+        raise FileQueueJobError(f"{payload[1]}\n{payload[2]}")
+
+    def exception(self, timeout: float | None = None):
+        try:
+            self.result(timeout)
+        except FileQueueJobError as exc:
+            return exc
+        return None
+
+
+class FileQueueBackend:
+    """Jobs round-trip through spooled files: the external-queue stand-in.
+
+    ``submit`` pickles the whole job to ``spool/jobs/<seq>.job`` (write
+    to a temp name, atomic rename); detached fork-context worker
+    processes claim jobs by rename, execute them, and publish
+    ``spool/results/<seq>.result`` files the returned future polls for.
+    Nothing else crosses: no inherited queue objects, no pipes — which
+    is the point.  A job that runs here is *provably self-contained*
+    and would run the same under any external scheduler that can move a
+    file and invoke Python.
+
+    Workers fork lazily on first submit.  ``shutdown(wait=True)`` drops
+    a stop marker, lets workers drain the queue, joins them and removes
+    the spool directory (``wait=False`` terminates instead).  Spool
+    directories live under ``$TMPDIR`` with the :data:`SPOOL_PREFIX`
+    prefix so leak checks can spot orphans, mirroring the transport
+    layer's ``/dev/shm`` convention.
+    """
+
+    name = "file_queue"
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        root: str | Path | None = None,
+        poll_s: float = 0.002,
+    ):
+        self.max_workers = max(1, int(max_workers))
+        self._own_root = root is None
+        self.root = Path(
+            tempfile.mkdtemp(prefix=SPOOL_PREFIX) if root is None else root
+        )
+        self._jobs = self.root / "jobs"
+        self._results = self.root / "results"
+        self._stop = self.root / "stop"
+        for path in (self._jobs, self._results):
+            path.mkdir(parents=True, exist_ok=True)
+        self._poll_s = poll_s
+        self._procs: list = []
+        self._seq = 0
+        self._closed = False
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-posix platforms
+            ctx = multiprocessing.get_context()
+        for _ in range(self.max_workers):
+            proc = ctx.Process(
+                target=_file_queue_worker,
+                args=(
+                    str(self._jobs),
+                    str(self._results),
+                    str(self._stop),
+                    self._poll_s,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any):
+        if self._closed:
+            raise RuntimeError("cannot schedule new futures after shutdown")
+        self._ensure_workers()
+        self._seq += 1
+        name = f"{self._seq:08d}"
+        tmp = self._jobs / f".tmp-{name}"
+        tmp.write_bytes(
+            pickle.dumps((fn, args, kwargs), pickle.HIGHEST_PROTOCOL)
+        )
+        os.replace(tmp, self._jobs / f"{name}.job")
+        return _FileQueueFuture(
+            self._results / f"{name}.result", self._poll_s
+        )
+
+    def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
+        futures = [self.submit(fn, *args) for args in zip(*iterables)]
+        return [future.result() for future in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.touch()
+        for proc in self._procs:
+            if wait:
+                proc.join()
+            else:
+                proc.terminate()
+                proc.join()
+        self._procs.clear()
+        if self._own_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __del__(self):  # pragma: no cover - best-effort backstop
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass
+
+
+#: Backend registry: the ``execution.backend`` spec values.
+EXECUTOR_BACKENDS: dict[str, type] = {
+    "in_process": InProcessExecutor,
+    "process_pool": ProcessPoolBackend,
+    "thread": ThreadBackend,
+    "file_queue": FileQueueBackend,
+}
+
+
+def make_executor(backend: str, max_workers: int):
+    """Build a backend by registry name (the ``execution.backend`` seam)."""
+    cls = EXECUTOR_BACKENDS.get(backend)
+    if cls is None:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; "
+            f"choose from {sorted(EXECUTOR_BACKENDS)}"
+        )
+    return cls(max_workers)

@@ -1,0 +1,33 @@
+"""``repro.store`` — the persistent, content-addressed artifact store.
+
+The durable half of the resumable-execution story (the other half is
+:mod:`repro.engine.executors`): a :class:`ArtifactStore` persists the
+expensive objects a :class:`~repro.api.session.Session` memoizes —
+trained ``BlissCamPipeline``\\ s, per-strategy training triples
+(including their post-training RNG state), completed workload
+``RunResult``\\ s — under keys derived from the spec's section hashes,
+so a killed sweep restarts, replays the completed work bitwise from
+disk, and only computes what is actually missing.
+
+See ``docs/architecture.md`` ("Persistence & executors") for the key
+scheme, the atomicity contract and the GC policy, and ``docs/api.md``
+for ``Session(store=...)`` / ``repro run --resume``.
+"""
+
+from repro.store.store import (
+    STORE_FORMAT_VERSION,
+    ArtifactStore,
+    StoreError,
+    StoreRecord,
+    canonical_key,
+    store_digest,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoreError",
+    "StoreRecord",
+    "STORE_FORMAT_VERSION",
+    "canonical_key",
+    "store_digest",
+]

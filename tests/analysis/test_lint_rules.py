@@ -533,3 +533,132 @@ class TestREP106SpecDrift:
         assert not findings_for(
             "class Foo:\n    x: int = 1\n", "REP106"
         )
+
+
+class TestREP107StoreKeys:
+    def test_repr_in_store_put_fires(self):
+        found = findings_for(
+            """
+            def save(store, pipeline, value):
+                store.put(("pipeline", repr(pipeline)), value)
+            """,
+            "REP107",
+        )
+        assert len(found) == 1
+        assert "repr()" in found[0].message
+
+    def test_id_in_store_get_fires(self):
+        found = findings_for(
+            """
+            def load(store, pipeline):
+                return store.get(("pipeline", id(pipeline)))
+            """,
+            "REP107",
+        )
+        assert len(found) == 1
+        assert "id()" in found[0].message
+
+    def test_hash_in_store_contains_fires(self):
+        assert findings_for(
+            """
+            def probe(store, obj):
+                return store.contains(("x", hash(obj)))
+            """,
+            "REP107",
+        )
+
+    def test_str_of_object_in_key_fires(self):
+        found = findings_for(
+            """
+            def save(artifact_store, dataset, value):
+                artifact_store.put(("dataset", str(dataset)), value)
+            """,
+            "REP107",
+        )
+        assert len(found) == 1
+        assert "str(<object>)" in found[0].message
+
+    def test_fstring_repr_conversion_fires(self):
+        found = findings_for(
+            """
+            def save(store, obj, value):
+                store.put(("x", f"{obj!r}"), value)
+            """,
+            "REP107",
+        )
+        assert len(found) == 1
+        assert "!r" in found[0].message
+
+    def test_store_digest_function_seam_fires(self):
+        from textwrap import dedent
+
+        found = findings_for(
+            dedent(
+                """
+                from repro.store import store_digest
+
+                def key_of(obj):
+                    return store_digest(("x", repr(obj)))
+                """
+            ),
+            "REP107",
+        )
+        assert len(found) == 1
+
+    def test_keyword_key_argument_fires(self):
+        assert findings_for(
+            """
+            def save(store, obj, value):
+                store.put(key=("x", id(obj)), value=value)
+            """,
+            "REP107",
+        )
+
+    def test_hash_derived_key_passes(self):
+        assert not findings_for(
+            """
+            def save(store, spec, value):
+                key = ("pipeline", spec.section_hash("dataset"), 16.0)
+                store.put(key, value)
+            """,
+            "REP107",
+        )
+
+    def test_registry_names_and_scalars_pass(self):
+        assert not findings_for(
+            """
+            def save(store, spec, name, value):
+                store.put(
+                    ("strategy_training", spec.spec_hash(), name, 4), value
+                )
+            """,
+            "REP107",
+        )
+
+    def test_str_of_literal_passes(self):
+        # str() of a constant is just a cast, not an identity leak.
+        assert not findings_for(
+            """
+            def save(store, value):
+                store.put(("x", str(16)), value)
+            """,
+            "REP107",
+        )
+
+    def test_repr_outside_key_seam_ignored(self):
+        assert not findings_for(
+            """
+            def describe(obj):
+                return repr(obj)
+            """,
+            "REP107",
+        )
+
+    def test_non_store_receiver_ignored(self):
+        assert not findings_for(
+            """
+            def note(cache, obj):
+                cache.put(("x", repr(obj)), 1)
+            """,
+            "REP107",
+        )

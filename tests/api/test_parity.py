@@ -127,9 +127,9 @@ class TestStrategySweepParity:
         )
         with Session() as session:
             with_roi = session.run(spec)
-            misses = session.stats["train_cache_misses"]
+            misses = session.stats()["train_cache_misses"]
             without_roi = session.run(no_roi)
-            assert session.stats["train_cache_misses"] == misses
+            assert session.stats()["train_cache_misses"] == misses
         ours = "Ours (ROI+Random)"
         assert (
             with_roi.metrics["strategies"][ours]
@@ -143,7 +143,7 @@ class TestStrategySweepParity:
         with Session() as session:
             first = session.run(spec)
             second = session.run(spec)
-            assert session.stats["train_cache_hits"] > 0
+            assert session.stats()["train_cache_hits"] > 0
         assert first.metrics == second.metrics
 
 

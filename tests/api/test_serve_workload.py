@@ -57,9 +57,9 @@ def test_serve_seed_changes_telemetry(session):
 
 
 def test_serve_reuses_memoized_training(session):
-    before = session.stats["train_cache_misses"]
+    before = session.stats()["train_cache_misses"]
     session.run(ExperimentSpec.from_dict(SPEC))
-    assert session.stats["train_cache_misses"] == before
+    assert session.stats()["train_cache_misses"] == before
 
 
 def test_serve_sharded_replicas_match_single(session):

@@ -23,14 +23,14 @@ def tiny_session():
 
 class TestMemoization:
     def test_second_run_does_not_retrain(self, tiny_session):
-        before = dict(tiny_session.stats)
+        before = dict(tiny_session.stats())
         result = tiny_session.run(ExperimentSpec.from_dict(TINY))
         assert (
-            tiny_session.stats["train_cache_misses"]
+            tiny_session.stats()["train_cache_misses"]
             == before["train_cache_misses"]
         )
         assert (
-            tiny_session.stats["train_cache_hits"]
+            tiny_session.stats()["train_cache_hits"]
             == before["train_cache_hits"] + 1
         )
         assert result.metrics["frames"] > 0
@@ -41,17 +41,17 @@ class TestMemoization:
         batched = ExperimentSpec.from_dict(
             {**TINY, "execution": {"batched": True}}
         )
-        before = tiny_session.stats["train_cache_misses"]
+        before = tiny_session.stats()["train_cache_misses"]
         tiny_session.run(batched)
-        assert tiny_session.stats["train_cache_misses"] == before
+        assert tiny_session.stats()["train_cache_misses"] == before
 
     def test_changed_training_section_retrains(self, tiny_session):
         different = ExperimentSpec.from_dict(
             {**TINY, "dataset": {**TINY["dataset"], "seed": 5}}
         )
-        before = tiny_session.stats["train_cache_misses"]
+        before = tiny_session.stats()["train_cache_misses"]
         tiny_session.run(different)
-        assert tiny_session.stats["train_cache_misses"] == before + 1
+        assert tiny_session.stats()["train_cache_misses"] == before + 1
 
     def test_repeat_runs_bitwise_identical(self, tiny_session):
         spec = ExperimentSpec.from_dict(TINY)
@@ -99,13 +99,13 @@ class TestSystemConfig:
     def test_eval_only_sensor_fields_do_not_retrain(self, tiny_session):
         # sensor_seed and reuse_window are applied at evaluate() time;
         # they must hit the training cache, not rebuild it.
-        before = tiny_session.stats["train_cache_misses"]
+        before = tiny_session.stats()["train_cache_misses"]
         tiny_session.run(
             ExperimentSpec.from_dict(
                 {**TINY, "sensor": {"sensor_seed": 77, "reuse_window": 2}}
             )
         )
-        assert tiny_session.stats["train_cache_misses"] == before
+        assert tiny_session.stats()["train_cache_misses"] == before
 
 
 class Probe(Stage):
@@ -123,14 +123,14 @@ class TestPersistentPool:
     def test_no_pool_below_two_workers(self):
         with Session() as session:
             assert session.executor(1) is None
-            assert session.stats["pools_created"] == 0
+            assert session.stats()["pools_created"] == 0
 
     def test_pool_created_once_and_reused(self):
         with Session() as session:
             first = session.executor(2)
             second = session.executor(2)
             assert first is second
-            assert session.stats["pools_created"] == 1
+            assert session.stats()["pools_created"] == 1
 
     def test_pool_grows_for_more_workers(self):
         with Session() as session:
@@ -139,7 +139,7 @@ class TestPersistentPool:
             assert grown is not small
             # Asking for fewer workers keeps the bigger pool.
             assert session.executor(2) is grown
-            assert session.stats["pools_created"] == 2
+            assert session.stats()["pools_created"] == 2
 
     def test_close_shuts_pool_down(self):
         session = Session()
@@ -201,7 +201,7 @@ class TestLifecycle:
         }
         with Session() as session:
             session.run(spec)
-            assert session.stats["pools_created"] == 1
+            assert session.stats()["pools_created"] == 1
             session.run(
                 {
                     **spec,
@@ -212,8 +212,95 @@ class TestLifecycle:
                     },
                 }
             )
-            assert session.stats["pools_created"] == 1
+            assert session.stats()["pools_created"] == 1
             assert session.pool_workers == 2
+
+
+class TestBackends:
+    def test_grow_while_cached_runs_exist(self):
+        # Satellite of the executor-backend work: growing the backend
+        # mid-session must drain the old pool (shutdown(wait=True)) and
+        # must not invalidate memoized results produced on it — the
+        # grown pool replays them bitwise from the cache.
+        spec = {
+            "workload": "evaluate",
+            "dataset": {"num_sequences": 4, "frames_per_sequence": 6},
+            "training": {"train_indices": [0, 1], "epochs": 1},
+            "execution": {"workers": 2},
+        }
+        with Session() as session:
+            first = session.run(spec)
+            misses = session.stats()["train_cache_misses"]
+            grown = session.executor(3)  # grow while cached runs exist
+            assert grown.max_workers == 3
+            assert session.stats()["pools_created"] == 2
+            again = session.run(spec)
+            assert session.stats()["train_cache_misses"] == misses
+            assert again.metrics == first.metrics
+            # The grown pool is the one the rerun used (grow-only).
+            assert session.pool_workers == 3
+
+    def test_in_process_backend_forces_serial_reference(self):
+        with Session() as session:
+            assert session.executor(4, backend="in_process") is None
+            assert session.stats()["pools_created"] == 0
+
+    def test_each_backend_kind_gets_its_own_executor(self):
+        with Session() as session:
+            pool = session.executor(2, backend="process_pool")
+            threads = session.executor(2, backend="thread")
+            assert pool is not threads
+            assert session.executor(2, backend="thread") is threads
+            assert session.stats()["pools_created"] == 2
+
+    def test_thread_and_file_queue_match_process_pool(self):
+        # Workload-level parity: the same sharded evaluate spec through
+        # three concurrent backends produces identical metrics.
+        base = {
+            "workload": "evaluate",
+            "dataset": {"num_sequences": 4, "frames_per_sequence": 6},
+            "training": {"train_indices": [0, 1], "epochs": 1},
+        }
+        results = {}
+        for backend in ("in_process", "thread", "file_queue"):
+            with Session() as session:
+                results[backend] = session.run(
+                    {**base, "execution": {"workers": 2, "backend": backend}}
+                ).metrics
+        assert results["thread"] == results["in_process"]
+        assert results["file_queue"] == results["in_process"]
+
+    def test_backend_recorded_in_provenance(self):
+        with Session() as session:
+            result = session.run(
+                {
+                    "workload": "area",
+                    "execution": {"backend": "thread"},
+                }
+            )
+        assert result.provenance["backend"] == "thread"
+
+    def test_unknown_backend_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="execution.backend"):
+            ExperimentSpec.from_dict(
+                {"execution": {"backend": "slurm"}}
+            )
+
+
+class TestStats:
+    def test_stats_reports_memo_accounting(self, tiny_session):
+        stats = tiny_session.stats()
+        assert stats["memo_entries"] == len(tiny_session._memo)
+        assert stats["memo_entries"] > 0
+        # Trained pipelines serialize to real bytes.
+        assert stats["memo_bytes"] > 1000
+
+    def test_stats_includes_store_occupancy_when_attached(self, tmp_path):
+        with Session(store=tmp_path / "store") as session:
+            session.run({"workload": "area"})
+            stats = session.stats()
+        assert stats["store"]["entries"] == 1  # the RunResult
+        assert stats["store"]["puts"] == 1
 
 
 class TestNoiseOverrides:
@@ -249,9 +336,9 @@ class TestNoiseOverrides:
         )
         base = ExperimentSpec.from_dict(TINY)
         assert noisy.section_hash("dataset") != base.section_hash("dataset")
-        before = tiny_session.stats["train_cache_misses"]
+        before = tiny_session.stats()["train_cache_misses"]
         tiny_session.run(noisy)
-        assert tiny_session.stats["train_cache_misses"] == before + 1
+        assert tiny_session.stats()["train_cache_misses"] == before + 1
 
 
 class TestRunEntry:
@@ -269,7 +356,7 @@ class TestRunEntry:
         with Session() as session:
             with pytest.raises(SpecError, match="workload"):
                 session.run({"workload": "nope"})
-            assert session.stats["runs"] == 0
+            assert session.stats()["runs"] == 0
 
     def test_provenance_stamped(self):
         spec = ExperimentSpec.from_dict({"workload": "area"})

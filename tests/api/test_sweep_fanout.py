@@ -36,9 +36,9 @@ def results():
             {**SWEEP, "execution": {**SWEEP["execution"], "workers": 2}}
         )
         fanned = fanned_session.run(fanned_spec)
-        stats = dict(fanned_session.stats)
+        stats = dict(fanned_session.stats())
         rerun = fanned_session.run(fanned_spec)
-        stats_after = dict(fanned_session.stats)
+        stats_after = dict(fanned_session.stats())
     return serial, fanned, rerun, stats, stats_after
 
 
