@@ -1,0 +1,156 @@
+"""Observability overhead: the traced run must be nearly free.
+
+Not a paper figure — this benchmark gates the tracing layer's cost
+contract (docs/observability.md): with tracing **off** the instrumented
+seams reduce to one ambient-global read returning ``None`` (no record
+allocation, no clock read), and with tracing **on** a full sweep's span
+volume is small enough that the traced wall time stays within a few
+percent of the untraced one.
+
+Both modes run the same ``strategy_sweep`` spec through fresh
+``Session``\\ s (memoization off the table), as back-to-back A/B pairs
+in alternating order, measured in **CPU seconds**
+(``time.process_time`` — wall time on a contended shared runner swings
+tens of percent between identical runs).  Even CPU seconds are noisy
+here (cache-contention stall cycles count; measured same-mode spread is
+±10 %), and the noise is autocorrelated, so no single estimator
+converges to the sub-3 % resolution the bar needs.  The gate therefore
+scores the *most favourable* of three robust estimators — best-of-N
+ratio, median per-pair ratio, total-CPU ratio: noise splits them, but a
+*systematic* per-span cost lifts all three together, which is exactly
+the regression this bench exists to catch.  All three estimators and
+the raw pair ratios are recorded in ``BENCH_obs.json`` at the
+repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _helpers import once, record_bench
+from repro.api import ExperimentSpec, Session
+from repro.obs import read_trace
+
+BENCH_SPEC = {
+    "workload": "strategy_sweep",
+    "dataset": {
+        # Large enough that one sweep takes whole seconds: the 3 % bar
+        # gates a ratio, and ratios of sub-second runs are all noise.
+        "num_sequences": 4,
+        "frames_per_sequence": 10,
+        "dynamics": "lively",
+    },
+    "strategy": {
+        "names": ["Full+Random", "ROI+DS", "Ours (ROI+Random)"],
+        "train_epochs": 4,
+    },
+    "training": {"train_indices": [0, 1]},
+    "execution": {"eval_indices": [2, 3]},
+}
+
+#: Measurement pairs (one traced + one untraced run each, order
+#: alternating).  Odd, so the median ratio is an actual sample.
+ROUNDS = 7
+
+#: The gating bar: traced CPU time within 3 % of untraced.
+MAX_OVERHEAD = 0.03
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+
+def _timed_run(trace) -> tuple[float, float, object]:
+    """(cpu_seconds, wall_seconds, result) of one fresh-session run."""
+    spec = ExperimentSpec.from_dict(BENCH_SPEC)
+    cpu_start = time.process_time()  # repro: allow[REP102] benchmark timing harness
+    wall_start = time.perf_counter()  # repro: allow[REP102] benchmark timing harness
+    with Session(trace=trace) as session:
+        result = session.run(spec)
+    wall = time.perf_counter() - wall_start  # repro: allow[REP102] benchmark timing harness
+    cpu = time.process_time() - cpu_start  # repro: allow[REP102] benchmark timing harness
+    return cpu, wall, result
+
+
+def run_obs_overhead(tmp_root: Path) -> dict:
+    sink = tmp_root / "bench_trace.jsonl"
+    untraced_cpu: list[float] = []
+    traced_cpu: list[float] = []
+    untraced_wall: list[float] = []
+    traced_wall: list[float] = []
+    ratios: list[float] = []
+    untraced_metrics = traced_metrics = None
+    trace_info = {}
+    # One untimed warm-up: first-run costs (imports, allocator and
+    # page-cache warm-up) land on nobody's clock.
+    _timed_run(trace=None)
+    for round_index in range(ROUNDS):
+        # Alternate which mode goes first: a fixed order hands the
+        # first-mover the benefit of every slow drift (turbo ramps,
+        # cache warm-up) and shows up as fake systematic overhead.
+        modes = [None, sink] if round_index % 2 == 0 else [sink, None]
+        pair = {}
+        for trace in modes:
+            cpu, wall, result = _timed_run(trace=trace)
+            if trace is None:
+                pair["untraced"] = cpu
+                untraced_cpu.append(cpu)
+                untraced_wall.append(wall)
+                untraced_metrics = result.metrics
+            else:
+                pair["traced"] = cpu
+                traced_cpu.append(cpu)
+                traced_wall.append(wall)
+                traced_metrics = result.metrics
+                trace_info = result.provenance["trace"]
+        ratios.append(pair["traced"] / pair["untraced"])
+
+    # Tracing is measurement, never behaviour: the traced sweep's
+    # metrics must be byte-identical to the untraced one's.
+    blob = lambda m: json.dumps(m, sort_keys=True).encode()
+    assert blob(traced_metrics) == blob(untraced_metrics)
+
+    estimators = {
+        "best_of_n": min(traced_cpu) / min(untraced_cpu),
+        "median_pair": sorted(ratios)[len(ratios) // 2],
+        "total_cpu": sum(traced_cpu) / sum(untraced_cpu),
+    }
+    overhead = min(estimators.values()) - 1.0
+    spans = [
+        r for r in read_trace(sink) if r.get("type") == "span"
+    ]
+    record = {
+        "workload": "obs_overhead",
+        "rounds": ROUNDS,
+        "untraced_cpu_seconds": min(untraced_cpu),
+        "traced_cpu_seconds": min(traced_cpu),
+        "untraced_wall_seconds": min(untraced_wall),
+        "traced_wall_seconds": min(traced_wall),
+        "pair_cpu_ratios": ratios,
+        "estimator_ratios": estimators,
+        "overhead_frac": overhead,
+        "spans": len(spans),
+        "sink_bytes": trace_info["sink_bytes"],
+        "max_overhead_frac": MAX_OVERHEAD,
+    }
+    record_bench(_RESULT_PATH, record)
+    return record
+
+
+def test_obs_overhead(benchmark, tmp_path):
+    record = once(benchmark, lambda: run_obs_overhead(tmp_path))
+
+    print()
+    print(
+        f"untraced {record['untraced_cpu_seconds']:.3f}s cpu "
+        f"({record['untraced_wall_seconds']:.3f}s wall)  "
+        f"traced {record['traced_cpu_seconds']:.3f}s cpu "
+        f"({record['traced_wall_seconds']:.3f}s wall)  "
+        f"overhead {record['overhead_frac'] * 100:+.2f}%  "
+        f"[{record['spans']} spans, {record['sink_bytes']} bytes sink]"
+    )
+
+    # The cost contract: a traced run stays within MAX_OVERHEAD of the
+    # untraced one in CPU seconds (best-of-N absorbs runner noise; the
+    # margin is the contract, not an aspiration).
+    assert record["overhead_frac"] < MAX_OVERHEAD, record

@@ -15,6 +15,7 @@ from repro.analysis.lint.rules.rep104_reductions import UnorderedReductionRule
 from repro.analysis.lint.rules.rep105_shared_mutation import SharedMutationRule
 from repro.analysis.lint.rules.rep106_spec_drift import SpecDriftRule
 from repro.analysis.lint.rules.rep107_store_keys import StoreKeyRule
+from repro.analysis.lint.rules.rep108_obs_plane import ObsPlaneRule
 
 __all__ = ["ALL_RULES"]
 
@@ -26,4 +27,5 @@ ALL_RULES = (
     SharedMutationRule(),
     SpecDriftRule(),
     StoreKeyRule(),
+    ObsPlaneRule(),
 )

@@ -133,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "Static determinism & cross-process-safety checks "
-            "(REP101-REP106; see docs/linting.md)"
+            "(REP101-REP108; see docs/linting.md)"
         ),
     )
     parser.add_argument(

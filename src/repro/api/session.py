@@ -41,6 +41,7 @@ from repro.api.spec import ExperimentSpec, SpecError
 from repro.core import BlissCamPipeline, ci, paper
 from repro.engine import TransportChannel
 from repro.engine.executors import make_executor
+from repro.obs.tracer import TRACE_FORMAT_VERSION, Tracer, install_tracer
 from repro.store import ArtifactStore, StoreError, canonical_key
 from repro.synth import GazeDynamicsConfig
 
@@ -161,7 +162,18 @@ class Session:
         self,
         store: ArtifactStore | str | Path | None = None,
         resume: bool = False,
+        trace: bool | str | Path | Tracer | None = None,
     ):
+        """``trace`` is the session-level tracing default:
+
+        * ``None`` (default) — trace only runs whose spec enables
+          ``execution.trace``;
+        * ``True`` — trace every run, JSONL sink at the spec's
+          ``execution.trace.sink`` (or ``trace-<spec_hash>.jsonl``);
+        * a path — trace every run into that file;
+        * a :class:`~repro.obs.Tracer` — record into the caller's tracer
+          across runs; the caller owns the export (no sink is written).
+        """
         #: One live backend per ``execution.backend`` kind, grow-only.
         self._executors: dict[str, Any] = {}
         self._transport = None
@@ -179,6 +191,14 @@ class Session:
         )
         #: Reuse whole stored ``RunResult``\ s keyed by spec hash.
         self.resume = bool(resume)
+        #: Session-level tracing default (see the constructor docstring).
+        self._trace = trace
+        #: Cross-run trace accounting (``stats()["trace"]``).
+        self._trace_totals = {
+            "spans": 0,
+            "spans_dropped": 0,
+            "sink_bytes": 0,
+        }
         #: Observability counters: how often the session saved work.
         self._counters = {
             "runs": 0,
@@ -246,6 +266,7 @@ class Session:
         out = dict(self._counters)
         out["memo_entries"] = len(self._memo)
         out["memo_bytes"] = sum(sorted(self._memo_bytes.values()))
+        out["trace"] = dict(self._trace_totals)
         if self.store is not None:
             out["store"] = self.store.stats()
         return out
@@ -384,9 +405,13 @@ class Session:
         persisted under ``("run_result", spec_hash)``; with
         ``resume=True``, a stored result for an identical spec is
         returned directly (its ``cache_hits`` restamped to say so)
-        instead of re-running the workload."""
-        from repro.api.registry import WORKLOADS
+        instead of re-running the workload.
 
+        Tracing (``execution.trace`` or the session's ``trace=``)
+        installs a :class:`~repro.obs.Tracer` around the whole run —
+        including the resume fast path — drains file-queue worker span
+        spools afterwards, writes the JSONL sink and stamps a ``trace``
+        block into ``provenance``."""
         self._check_open()
         if isinstance(spec, dict):
             spec = ExperimentSpec.from_dict(spec)
@@ -396,6 +421,57 @@ class Session:
             raise SpecError(
                 "<root>", f"expected ExperimentSpec or dict, got {type(spec)!r}"
             )
+        trace_cfg = spec.execution.trace
+        if not (trace_cfg.enabled or self._trace):
+            return self._run_impl(spec)
+        if isinstance(self._trace, Tracer):
+            tracer, sink = self._trace, None
+        else:
+            tracer = Tracer(detail=trace_cfg.detail)
+            if isinstance(self._trace, (str, Path)):
+                sink = Path(self._trace)
+            elif trace_cfg.sink:
+                sink = Path(trace_cfg.sink)
+            else:
+                sink = Path(f"trace-{spec.spec_hash()}.jsonl")
+        # Deltas, not totals: an injected cross-run tracer accumulates
+        # spans across runs and must not be re-counted per run.
+        spans_before = len(tracer.spans)
+        dropped_before = tracer.dropped
+        with install_tracer(tracer):
+            with tracer.span(
+                "session.run",
+                workload=spec.workload,
+                spec_hash=spec.spec_hash(),
+            ):
+                result = self._run_impl(spec)
+            # Merge spooled worker captures (file-queue jobs) in sorted
+            # backend order, then account the run's cache economy.
+            for name in sorted(self._executors):
+                drain = getattr(self._executors[name], "drain_spans", None)
+                if drain is not None:
+                    drain(tracer)
+            if self._cache_hits:
+                tracer.count("session.cache_hits", len(self._cache_hits))
+        sink_bytes = tracer.write_jsonl(sink) if sink is not None else 0
+        trace_info = {
+            "format": TRACE_FORMAT_VERSION,
+            "detail": tracer.detail,
+            "spans": len(tracer.spans),
+            "spans_dropped": tracer.dropped,
+        }
+        if sink is not None:
+            trace_info["path"] = str(sink)
+            trace_info["sink_bytes"] = sink_bytes
+        result.provenance = {**result.provenance, "trace": trace_info}
+        self._trace_totals["spans"] += len(tracer.spans) - spans_before
+        self._trace_totals["spans_dropped"] += tracer.dropped - dropped_before
+        self._trace_totals["sink_bytes"] += sink_bytes
+        return result
+
+    def _run_impl(self, spec: ExperimentSpec) -> RunResult:
+        from repro.api.registry import WORKLOADS
+
         self._cache_hits = []
         run_key = ("run_result", spec.spec_hash())
         if (

@@ -35,6 +35,7 @@ __all__ = [
     "StrategySection",
     "TrainingSection",
     "ServeSection",
+    "TraceSection",
     "ExecutionSection",
     "ExperimentSpec",
 ]
@@ -195,6 +196,27 @@ class ServeSection:
 
 
 @dataclass(frozen=True)
+class TraceSection:
+    """Observability: the ``repro.obs`` tracer wired around a run.
+
+    Pure measurement — tracing never changes results, so this section is
+    **hash-exempt**: :meth:`ExperimentSpec.section_hash` drops it before
+    digesting, and a traced run shares its spec hash (and therefore its
+    store/resume identity) with the identical untraced run.  See
+    ``docs/observability.md``.
+    """
+
+    #: Record a trace for this run.
+    enabled: bool = False
+    #: JSONL trace file path; ``None`` defaults to
+    #: ``trace-<spec_hash>.jsonl`` in the working directory.
+    sink: str | None = None
+    #: ``full`` records everything; ``summary`` skips the high-volume
+    #: per-tick/per-publish spans (see ``repro.obs.TRACE_DETAIL_LEVELS``).
+    detail: str = "full"
+
+
+@dataclass(frozen=True)
 class ExecutionSection:
     """*How* to run: engine mode, parallelism, model operating point."""
 
@@ -223,6 +245,8 @@ class ExecutionSection:
     fps_sweep_points: tuple[float, ...] | None = None
     #: The ``serve`` workload's scenario (ignored by other workloads).
     serve: ServeSection = field(default_factory=ServeSection)
+    #: Tracing around the run (hash-exempt; see :class:`TraceSection`).
+    trace: TraceSection = field(default_factory=TraceSection)
 
 
 _SECTIONS = {
@@ -300,6 +324,16 @@ class ExperimentSpec:
         trained pipeline across specs that differ only in execution)."""
         data = self.to_dict()
         subset = {name: data[name] for name in names}
+        if "execution" in subset:
+            # The trace section is pure measurement (it cannot change
+            # results), so it is exempt from spec identity: a traced run
+            # resumes from / stores into the same entries as the
+            # identical untraced run.
+            subset["execution"] = {
+                key: value
+                for key, value in subset["execution"].items()
+                if key != "trace"
+            }
         canonical = json.dumps(subset, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -320,6 +354,20 @@ class ExperimentSpec:
         return dataclasses.replace(
             self,
             execution=dataclasses.replace(self.execution, backend=backend),
+        )
+
+    def with_trace(
+        self, sink: str | None = None, detail: str | None = None
+    ) -> "ExperimentSpec":
+        """A copy with tracing enabled (CLI ``--trace [PATH]``)."""
+        trace = dataclasses.replace(
+            self.execution.trace,
+            enabled=True,
+            **({} if sink is None else {"sink": sink}),
+            **({} if detail is None else {"detail": detail}),
+        )
+        return dataclasses.replace(
+            self, execution=dataclasses.replace(self.execution, trace=trace)
         )
 
     # -- validation ----------------------------------------------------------
@@ -473,6 +521,20 @@ class ExperimentSpec:
         _require(
             "execution.serve.seed", sv.seed >= 0, ">= 0 (keys RNG streams)"
         )
+        tr = e.trace
+        if tr.sink is not None and not tr.sink:
+            raise SpecError(
+                "execution.trace.sink",
+                "must be a non-empty path (or omitted for the default)",
+            )
+        from repro.obs.tracer import TRACE_DETAIL_LEVELS
+
+        if tr.detail not in TRACE_DETAIL_LEVELS:
+            raise SpecError(
+                "execution.trace.detail",
+                f"unknown detail level {tr.detail!r}; "
+                f"choose from {TRACE_DETAIL_LEVELS}",
+            )
         return self
 
 

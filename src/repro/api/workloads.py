@@ -36,6 +36,8 @@ from repro.hardware import (
     WorkloadProfile,
 )
 from repro.hardware.power_budget import HeadsetBudget
+from repro.obs.names import QUEUE_DEPTH_FIELDS, serve_queue_depth_gauge
+from repro.obs.tracer import current_tracer
 
 __all__ = ["strategy_rng"]
 
@@ -341,6 +343,17 @@ def run_serve(session: Session, spec: ExperimentSpec) -> RunResult:
     )
     telemetry = run.summary
     frames = telemetry["frames"]
+    tracer = current_tracer()
+    if tracer is not None:
+        # The merged queue-depth summary as gauges, named through the
+        # same table Telemetry.summary builds its block from — the
+        # metrics block and the exported trace cannot drift.  (The
+        # per-tick serve.queue_depth series itself is emitted by the
+        # scheduler; replica workers run outside the ambient tracer.)
+        for field in QUEUE_DEPTH_FIELDS:
+            value = telemetry["queue_depth"][field]
+            if isinstance(value, (int, float)):
+                tracer.gauge(serve_queue_depth_gauge(field), value)
     metrics = {
         "clients": scenario.num_clients,
         "arrival": scenario.arrival,

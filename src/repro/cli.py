@@ -21,9 +21,11 @@ Commands
 ``sweep-fps``    energy saving vs frame rate
 ``sweep-node``   energy saving vs process nodes
 ``lint``         static determinism & cross-process-safety checks
-                 (REP101-REP107, see docs/linting.md; gating in CI)
+                 (REP101-REP108, see docs/linting.md; gating in CI)
 ``store``        inspect/maintain a persistent artifact store
                  (``ls``/``rm``/``gc``; see docs/architecture.md)
+``trace``        inspect an exported run trace (``summary``/``export``
+                 ``--perfetto``/``diff``; see docs/observability.md)
 
 Every subcommand is a thin *spec builder*: it assembles an
 :class:`~repro.api.ExperimentSpec` and hands it to one
@@ -179,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "recomputing it (byte-identical results; "
                 "provenance.cache_hits records what was skipped)",
             )
+            cmd.add_argument(
+                "--trace",
+                metavar="PATH",
+                nargs="?",
+                const=True,
+                default=None,
+                help="record a repro.obs trace of the run (JSONL sink; "
+                "default sink trace-<spec_hash>.jsonl, or give a path); "
+                "inspect it with `repro trace`",
+            )
             continue
         if name == "serve":
             cmd.add_argument(
@@ -237,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "lint",
         add_help=False,
-        help="static determinism checks (REP101-REP107); "
+        help="static determinism checks (REP101-REP108); "
         "see `repro lint --help`",
     )
     sub.add_parser(
@@ -245,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
         help="artifact-store maintenance (ls/rm/gc); "
         "see `repro store --help`",
+    )
+    sub.add_parser(
+        "trace",
+        add_help=False,
+        help="trace inspection (summary/export/diff); "
+        "see `repro trace --help`",
     )
     return parser
 
@@ -262,6 +280,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.cli import main as store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Trace inspection works on exported files, not specs.
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         spec = _SPEC_BUILDERS[args.command](args)
@@ -275,6 +298,11 @@ def main(argv: list[str] | None = None) -> int:
                 .with_backend(backend)
                 .validate()
             )
+        trace = getattr(args, "trace", None)
+        if trace is not None:  # --trace or --trace PATH
+            spec = spec.with_trace(
+                sink=None if trace is True else trace
+            ).validate()
         store = getattr(args, "store", None)
         if getattr(args, "resume", False) and not store:
             print(
@@ -293,6 +321,12 @@ def main(argv: list[str] | None = None) -> int:
             print("training...")
         result = session.run(spec)
     print(result.render_tables())
+    trace_info = result.provenance.get("trace")
+    if trace_info and "path" in trace_info:
+        print(
+            f"trace written: {trace_info['path']} "
+            f"({trace_info['spans']} spans)"
+        )
     if args.json:
         result.write_json(args.json)
     if spec.workload == "throughput":

@@ -21,8 +21,8 @@ interchangeable backends:
   kernels (the attention matmuls, vectorized eventification): no
   process boundary, no pickling, shared address space.
 * :class:`FileQueueBackend` — jobs round-trip through *spooled files*:
-  ``submit`` pickles ``(fn, args, kwargs)`` to a job file in a spool
-  directory, detached worker processes claim job files by atomic
+  ``submit`` pickles ``(fn, args, kwargs, traced)`` to a job file in a
+  spool directory, detached worker processes claim job files by atomic
   rename, execute, and publish result files the future polls for.  The
   minimal "external cluster" stand-in: nothing crosses except bytes on
   a filesystem, which *proves* every shard job is self-contained — and
@@ -52,8 +52,11 @@ import tempfile
 import time
 import traceback
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.obs.tracer import SpanRecord, current_tracer, finish_wall
 
 __all__ = [
     "ExecutorBackend",
@@ -70,6 +73,30 @@ __all__ = [
 #: File-queue spool directories carry this prefix (leak checks mirror
 #: the transport layer's ``/dev/shm`` convention).
 SPOOL_PREFIX = "reproq_"
+
+
+def _job_name(fn: Callable) -> str:
+    """Deterministic display name of a submitted job function."""
+    return getattr(fn, "__qualname__", None) or getattr(
+        fn, "__name__", type(fn).__name__
+    )
+
+
+def _open_job_span(backend: str, seq: int, fn: Callable) -> SpanRecord | None:
+    """Emit the submit-side ``executor.job`` span (all backends).
+
+    The deterministic plane (backend, sequence number, job name) is
+    complete at submit; wall completion arrives later — a done-callback
+    :func:`finish_wall` for pool backends, the worker capture's own root
+    span for file-queue jobs.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return None
+    tracer.count("executor.jobs")
+    return tracer.point(
+        "executor.job", backend=backend, seq=seq, job=_job_name(fn)
+    )
 
 
 @runtime_checkable
@@ -109,16 +136,35 @@ class InProcessExecutor:
 
     def __init__(self, max_workers: int = 1):
         self.max_workers = max(1, int(max_workers))
+        self._seq = 0
         self._closed = False
 
     def submit(self, fn: Callable, /, *args: Any, **kwargs: Any) -> Future:
         if self._closed:
             raise RuntimeError("cannot schedule new futures after shutdown")
+        self._seq += 1
+        tracer = current_tracer()
         future: Future = Future()
-        try:
-            future.set_result(fn(*args, **kwargs))
-        except BaseException as exc:  # noqa: BLE001 - future carries it
-            future.set_exception(exc)
+        # Synchronous execution nests the job's own spans (engine runs,
+        # training epochs) under the job span naturally, so the job span
+        # is a real context here rather than a submit-time point.
+        ctx = (
+            tracer.span(
+                "executor.job",
+                backend=self.name,
+                seq=self._seq,
+                job=_job_name(fn),
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        if tracer is not None:
+            tracer.count("executor.jobs")
+        with ctx:
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                future.set_exception(exc)
         return future
 
     def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
@@ -144,10 +190,18 @@ class ProcessPoolBackend:
         from repro.engine.runner import shard_executor
 
         self.max_workers = int(max_workers)
+        self._seq = 0
         self._pool = shard_executor(self.max_workers)
 
     def submit(self, fn: Callable, /, *args: Any, **kwargs: Any):
-        return self._pool.submit(fn, *args, **kwargs)
+        self._seq += 1
+        span = _open_job_span(self.name, self._seq, fn)
+        future = self._pool.submit(fn, *args, **kwargs)
+        if span is not None:
+            # Wall-only completion: the callback thread touches nothing
+            # in the deterministic plane (see finish_wall).
+            future.add_done_callback(lambda _f: finish_wall(span))
+        return future
 
     def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
         return self._pool.map(fn, *iterables)
@@ -170,13 +224,19 @@ class ThreadBackend:
 
     def __init__(self, max_workers: int):
         self.max_workers = int(max_workers)
+        self._seq = 0
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers,
             thread_name_prefix="repro-shard",
         )
 
     def submit(self, fn: Callable, /, *args: Any, **kwargs: Any):
-        return self._pool.submit(fn, *args, **kwargs)
+        self._seq += 1
+        span = _open_job_span(self.name, self._seq, fn)
+        future = self._pool.submit(fn, *args, **kwargs)
+        if span is not None:
+            future.add_done_callback(lambda _f: finish_wall(span))
+        return future
 
     def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
         return self._pool.map(fn, *iterables)
@@ -221,16 +281,28 @@ def _file_queue_worker(
                 return
             time.sleep(poll_s)  # repro: allow[REP102] queue poll backoff, not a data path
             continue
+        name = claimed.stem
         try:
-            fn, args, kwargs = pickle.loads(claimed.read_bytes())
-            payload: tuple = ("ok", fn(*args, **kwargs))
+            fn, args, kwargs, traced = pickle.loads(claimed.read_bytes())
+            if traced:
+                # Spool this job's spans next to its result; the
+                # dispatcher merges them on drain.  capture_job writes
+                # the spool before we publish the result below, so a
+                # resolved future implies its spans exist.
+                from repro.obs.spool import capture_job
+
+                result = capture_job(
+                    results / f"{name}.spans", fn, args, kwargs
+                )
+            else:
+                result = fn(*args, **kwargs)
+            payload: tuple = ("ok", result)
         except BaseException as exc:  # noqa: BLE001 - shipped to dispatcher
             payload = (
                 "error",
                 f"{type(exc).__name__}: {exc}",
                 traceback.format_exc(),
             )
-        name = claimed.stem
         tmp = results / f".tmp-{name}"
         tmp.write_bytes(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
         os.replace(tmp, results / f"{name}.result")
@@ -317,6 +389,9 @@ class FileQueueBackend:
         self._poll_s = poll_s
         self._procs: list = []
         self._seq = 0
+        #: submit-side executor.job span per job name, for drain_spans
+        #: to re-parent worker captures under.
+        self._job_spans: dict[str, SpanRecord] = {}
         self._closed = False
 
     def _ensure_workers(self) -> None:
@@ -348,9 +423,15 @@ class FileQueueBackend:
         self._ensure_workers()
         self._seq += 1
         name = f"{self._seq:08d}"
+        span = _open_job_span(self.name, self._seq, fn)
+        if span is not None:
+            self._job_spans[name] = span
         tmp = self._jobs / f".tmp-{name}"
         tmp.write_bytes(
-            pickle.dumps((fn, args, kwargs), pickle.HIGHEST_PROTOCOL)
+            pickle.dumps(
+                (fn, args, kwargs, span is not None),
+                pickle.HIGHEST_PROTOCOL,
+            )
         )
         os.replace(tmp, self._jobs / f"{name}.job")
         return _FileQueueFuture(
@@ -360,6 +441,27 @@ class FileQueueBackend:
     def map(self, fn: Callable, *iterables: Iterable) -> Iterable:
         futures = [self.submit(fn, *args) for args in zip(*iterables)]
         return [future.result() for future in futures]
+
+    def drain_spans(self, tracer) -> int:
+        """Merge spooled worker captures into ``tracer``; returns spans.
+
+        Spools are consumed in job-sequence order (sorted names — the
+        claim/race order workers ran in is irrelevant), each capture
+        re-parented under its submit-side ``executor.job`` span, so the
+        merged trace is deterministic however the workers interleaved.
+        """
+        from repro.obs.spool import read_spool
+
+        merged = 0
+        for spool in sorted(self._results.glob("*.spans")):
+            name = spool.stem
+            merged += tracer.merge_records(
+                read_spool(spool), parent=self._job_spans.get(name)
+            )
+            spool.unlink()
+        if merged:
+            tracer.count("executor.worker_spans_merged", merged)
+        return merged
 
     def shutdown(self, wait: bool = True) -> None:
         if self._closed:

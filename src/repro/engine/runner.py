@@ -43,6 +43,7 @@ import numpy as np
 from repro.engine.context import FrameContext, SequenceState
 from repro.engine.stage import StageGraph
 from repro.engine.transport import ObjectHandle, TransportChannel, resolve_payload
+from repro.obs.tracer import current_tracer
 
 __all__ = [
     "SequenceRunner",
@@ -306,6 +307,31 @@ class SequenceRunner:
             else:
                 contexts = self._run_sequential(sequences, timings)
         wall = time.perf_counter() - start  # repro: allow[REP102] run wall-time metric
+        tracer = current_tracer()
+        if tracer is not None:
+            # Span view of the run: the merged StageTiming table becomes
+            # one engine.run span with per-stage children.  Point spans —
+            # the measurements already exist; stage order is graph order
+            # (deterministic), wall durations ride the wall plane.
+            run_span = tracer.point(
+                "engine.run",
+                wall_dur=wall,
+                sequences=len(sequences),
+                frames=len(contexts),
+                batched=batched,
+                workers=n_workers,
+            )
+            for name, timing in timings.items():
+                tracer.point(
+                    "engine.stage",
+                    parent=run_span,
+                    wall_dur=timing.seconds,
+                    stage=name,
+                    frames=timing.frames,
+                    calls=timing.calls,
+                )
+            tracer.count("engine.runs")
+            tracer.count("engine.frames", len(contexts))
         return EngineRun(
             contexts=contexts,
             stage_timings=timings,

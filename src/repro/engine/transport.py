@@ -59,6 +59,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs.tracer import current_tracer
+
 try:  # pragma: no cover - shared_memory ships with CPython >= 3.8
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover
@@ -436,6 +438,19 @@ class TransportChannel:
             self._retain_arrays(pickler.array_segments, +1)
             self.stats["objects_published"] += 1
         self.stats["handle_bytes"] += handle.wire_bytes
+        tracer = current_tracer()
+        if tracer is not None:
+            reused = cached is not None
+            tracer.count("transport.publishes")
+            tracer.count("transport.publish_bytes", len(blob))
+            if reused:
+                tracer.count("transport.publish_reuses")
+            if tracer.detail == "full":
+                # Per-publish spans are high-volume; summary detail keeps
+                # only the counters above.
+                tracer.point(
+                    "transport.publish", nbytes=len(blob), reused=reused
+                )
         if slot is not None:
             previous = self._slots.get(slot)
             if previous is not None and previous != digest:

@@ -1,0 +1,62 @@
+"""The cross-process span spool: worker-side capture, dispatcher-side merge.
+
+File-queue workers live in other processes, where the ambient tracer is
+(by design — see :func:`repro.obs.tracer.current_tracer`) invisible.
+Instead, a traced job runs under :func:`capture_job`: a fresh capture
+:class:`~repro.obs.tracer.Tracer` is installed for the job's duration
+and its records are spooled to a ``<seq>.spans`` JSONL file next to the
+job's result.  The dispatcher merges spools in job-sequence order on
+drain, re-parenting each capture under its submit-side ``executor.job``
+span — so a cross-process run still reads as one deterministic tree.
+
+This module *is* the sanctioned merge path REP108 points worker code at.
+The spool file is written atomically (tmp + ``os.replace``) and before
+the result file, so a resolved future implies its spans exist.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.tracer import Tracer, install_tracer
+
+__all__ = ["capture_job", "read_spool"]
+
+
+def capture_job(
+    spans_path: str | Path,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+) -> Any:
+    """Run one traced job under a fresh capture tracer; spool its records.
+
+    The capture is written even when the job raises, so a failed job's
+    partial spans still reach the merged trace before the error record
+    does.  Returns (or re-raises) whatever the job does.
+    """
+    spans_path = Path(spans_path)
+    tracer = Tracer(origin=f"worker-{os.getpid()}")
+    try:
+        with install_tracer(tracer):
+            return fn(*args, **kwargs)
+    finally:
+        tmp = spans_path.with_name(spans_path.name + ".tmp")
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for record in tracer.to_records()
+        ]
+        tmp.write_bytes(("\n".join(lines) + "\n").encode())
+        os.replace(tmp, spans_path)
+
+
+def read_spool(path: str | Path) -> list[dict]:
+    """Parse one spooled capture back into a record list."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records

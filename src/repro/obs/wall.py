@@ -1,0 +1,39 @@
+"""The wall plane's only clock: every wall-time read in ``repro.obs``.
+
+The tracer's two-plane contract (see ``docs/observability.md``) confines
+non-deterministic measurements — monotonic timestamps, durations, RSS
+snapshots — to this module.  Everything else under ``repro.obs`` treats
+wall values as opaque payload: it stores them under the ``"wall"`` key
+of a record and never branches on them, so stripping that key yields the
+byte-stable deterministic plane.
+
+REP108 enforces the seam statically: a wall-clock call anywhere else in
+``repro.obs`` is a lint finding.  The reads here carry the same REP102
+waivers every sanctioned measurement seam in the repository does.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["wall_now", "rss_kb"]
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+
+def wall_now() -> float:
+    """Monotonic wall-plane timestamp (seconds, arbitrary epoch)."""
+    return time.perf_counter()  # repro: allow[REP102] the obs wall plane's declared clock seam
+
+
+def rss_kb() -> int:
+    """Current max resident-set size in KiB (0 where unsupported)."""
+    if _resource is None:  # pragma: no cover - non-posix platforms
+        return 0
+    usage = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return int(usage // 1024) if os.uname().sysname == "Darwin" else int(usage)

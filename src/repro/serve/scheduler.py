@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any
 
@@ -38,6 +39,8 @@ import numpy as np
 
 from repro.engine.context import FrameContext, SequenceState
 from repro.engine.stage import StageGraph
+from repro.obs.names import SERVE_QUEUE_DEPTH
+from repro.obs.tracer import current_tracer
 from repro.serve.slo import SLOModel
 from repro.serve.streams import (
     SERVE_STREAM_TAG,
@@ -183,32 +186,62 @@ class Scheduler:
         # clock's seconds view lives in the SLO's latency arithmetic).
         queue: deque[FrameArrival] = deque()
         gaze_log: list[tuple[int, int, tuple[float, float]]] = []
+        tracer = current_tracer()
         for tick, arrivals in enumerate(arrivals_by_tick):
-            # 1. Admission control: a bounded queue is the backpressure
-            # mechanism — beyond it, load shedding beats unbounded delay.
-            for arrival in arrivals:
-                if (
-                    self.queue_capacity is not None
-                    and len(queue) >= self.queue_capacity
-                ):
-                    telemetry.record_drop(
-                        arrival.client_id, tick, "queue_full"
-                    )
-                else:
-                    queue.append(arrival)
-            # 2./3. Pop up to max_batch serviceable frames, shedding the
-            # doomed ones (drop policy) without charging the batch budget.
-            budget = self.max_batch if self.max_batch is not None else len(queue)
-            jobs: list[FrameArrival] = []
-            while queue and len(jobs) < budget:
-                arrival = queue.popleft()
-                if self.slo.sheds(tick - arrival.tick):
-                    telemetry.record_drop(arrival.client_id, tick, "deadline")
-                    continue
-                jobs.append(arrival)
-            if jobs:
-                self._dispatch(tick, jobs, telemetry, gaze_log)
-            telemetry.record_queue_depth(len(queue))
+            # Per-tick spans are the high-volume series; summary detail
+            # keeps only the counters/gauge below.
+            tick_span = (
+                tracer.span("serve.tick", tick=tick, arrivals=len(arrivals))
+                if tracer is not None and tracer.detail == "full"
+                else nullcontext()
+            )
+            with tick_span:
+                # 1. Admission control: a bounded queue is the backpressure
+                # mechanism — beyond it, load shedding beats unbounded delay.
+                admitted = 0
+                shed_full = 0
+                shed_deadline = 0
+                for arrival in arrivals:
+                    if (
+                        self.queue_capacity is not None
+                        and len(queue) >= self.queue_capacity
+                    ):
+                        telemetry.record_drop(
+                            arrival.client_id, tick, "queue_full"
+                        )
+                        shed_full += 1
+                    else:
+                        queue.append(arrival)
+                        admitted += 1
+                # 2./3. Pop up to max_batch serviceable frames, shedding the
+                # doomed ones (drop policy) without charging the batch budget.
+                budget = (
+                    self.max_batch if self.max_batch is not None else len(queue)
+                )
+                jobs: list[FrameArrival] = []
+                while queue and len(jobs) < budget:
+                    arrival = queue.popleft()
+                    if self.slo.sheds(tick - arrival.tick):
+                        telemetry.record_drop(
+                            arrival.client_id, tick, "deadline"
+                        )
+                        shed_deadline += 1
+                        continue
+                    jobs.append(arrival)
+                if jobs:
+                    self._dispatch(tick, jobs, telemetry, gaze_log)
+                telemetry.record_queue_depth(len(queue))
+                if tracer is not None:
+                    tracer.count("serve.ticks")
+                    if admitted:
+                        tracer.count("serve.admitted", admitted)
+                    if shed_full:
+                        tracer.count("serve.shed.queue_full", shed_full)
+                    if shed_deadline:
+                        tracer.count("serve.shed.deadline", shed_deadline)
+                    if jobs:
+                        tracer.count("serve.dispatched", len(jobs))
+                    tracer.gauge(SERVE_QUEUE_DEPTH, len(queue), tick=tick)
         # Frames still queued when the scenario ends were admitted but
         # never served; account them as backlog so 'arrived' and the
         # drop-rate denominator cover every frame under overload.

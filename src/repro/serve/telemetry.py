@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.names import QUEUE_DEPTH_FIELDS
+
 __all__ = ["FrameRecord", "DropRecord", "Telemetry"]
 
 
@@ -168,10 +170,19 @@ class Telemetry:
             "goodput_fps": met / duration_s if duration_s > 0 else 0.0,
             "drop_rate": len(self.drops) / arrived if arrived else 0.0,
             "drops_by_reason": dict(sorted(reasons.items())),
+            # Built from the obs naming table: the same field names the
+            # exported trace's serve.queue_depth.* gauges use, so the
+            # metrics block and the trace can never drift apart.
             "queue_depth": {
-                "max": max(self.queue_depths, default=0),
-                "mean": _mean(np.sort(np.array(self.queue_depths, float))),
-                "trace": list(self.queue_depths),
+                field: value
+                for field, value in zip(
+                    QUEUE_DEPTH_FIELDS,
+                    (
+                        max(self.queue_depths, default=0),
+                        _mean(np.sort(np.array(self.queue_depths, float))),
+                        list(self.queue_depths),
+                    ),
+                )
             },
             "gaze_error_deg": {
                 "mean": _mean(gaze_errors),

@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro.obs.tracer import current_tracer
+
 __all__ = [
     "STORE_FORMAT_VERSION",
     "ArtifactStore",
@@ -213,6 +215,16 @@ class ArtifactStore:
             meta_path,
         )
         self.counters["puts"] += 1
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.count("store.puts")
+            tracer.count("store.put_bytes", len(blob))
+            tracer.point(
+                "store.put",
+                kind=record.kind,
+                digest=digest,
+                nbytes=len(blob),
+            )
         return record
 
     # -- lookup ---------------------------------------------------------------
@@ -265,6 +277,20 @@ class ArtifactStore:
         Touches the entry's mtime, which is the LRU clock ``gc`` evicts
         by.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._get_impl(key)
+        tracer.count("store.gets")
+        try:
+            value = self._get_impl(key)
+        except KeyError:
+            tracer.count("store.misses")
+            raise
+        tracer.count("store.hits")
+        tracer.point("store.get", digest=store_digest(key))
+        return value
+
+    def _get_impl(self, key: Any) -> Any:
         digest = store_digest(key)
         meta_path, payload_path = self._paths(digest)
         self.counters["gets"] += 1
@@ -327,9 +353,14 @@ class ArtifactStore:
         return sorted(self._staging.glob(f"{STAGING_PREFIX}*"))
 
     def stats(self) -> dict:
-        """Occupancy + counters (the ``repro store ls`` footer)."""
+        """Occupancy + counters (the ``repro store ls`` footer).
+
+        ``format_version`` documents the record schema this tree reads —
+        entries recorded under any other version are ``stale_entries``.
+        """
         records = self.records()
         return {
+            "format_version": STORE_FORMAT_VERSION,
             "entries": len(records),
             "bytes": sum(r.nbytes for r, _ in records),
             "stale_entries": sum(1 for r, _ in records if r.stale),
@@ -402,6 +433,15 @@ class ArtifactStore:
                 purged.append(path.name)
             except FileNotFoundError:  # pragma: no cover - racing unlink
                 pass
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.count("store.gc_evicted", len(evicted))
+            tracer.point(
+                "store.gc",
+                evicted=len(evicted),
+                staging_purged=len(purged),
+                entries=len(live) - index,
+            )
         return {
             "evicted": evicted,
             "staging_purged": purged,

@@ -40,12 +40,14 @@ Determinism contract (pinned by ``tests/training/``):
 from __future__ import annotations
 
 import zlib
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.nn import Adam, CrossEntropyLoss, MSELoss, clip_grad_norm
+from repro.obs.tracer import current_tracer
 from repro.nn.functional import grey_dilation, grey_erosion
 from repro.sampling.eventification import eventify
 from repro.sampling.random_sampling import random_mask_in_box
@@ -585,31 +587,51 @@ class TrainRunner:
         """One Adam step per minibatch, minibatches cut sequence-major."""
         cfg = self.config
         result = JointTrainResult()
+        tracer = current_tracer()
         for epoch in range(cfg.epochs):
-            seg_total, roi_total, steps = 0.0, 0.0, 0
-            for rank in batched(samples, cfg.batch_size):
-                seg_l, roi_l = _rank_backward(
-                    self.roi_predictor,
-                    self.segmenter,
-                    cfg,
-                    self.seed,
-                    epoch,
-                    rank,
-                    self.seg_loss,
-                    self.roi_loss,
-                    self.soft_mask,
-                    zero_grads=True,
+            epoch_span = (
+                tracer.span(
+                    "train.epoch",
+                    epoch=epoch,
+                    schedule="stepped",
+                    samples=len(samples),
                 )
-                clip_grad_norm(self.roi_predictor.parameters(), cfg.grad_clip)
-                clip_grad_norm(self.segmenter.parameters(), cfg.grad_clip)
-                self.opt_roi.step()
-                self.opt_seg.step()
-                seg_total += seg_l
-                roi_total += roi_l
-                steps += 1
-            result.seg_losses.append(seg_total / max(steps, 1))
-            result.roi_losses.append(roi_total / max(steps, 1))
+                if tracer is not None
+                else nullcontext()
+            )
+            if tracer is not None:
+                tracer.count("train.epochs")
+            with epoch_span:
+                self._stepped_epoch(samples, epoch, result)
         return result
+
+    def _stepped_epoch(
+        self, samples: list[TrainSample], epoch: int, result: JointTrainResult
+    ) -> None:
+        cfg = self.config
+        seg_total, roi_total, steps = 0.0, 0.0, 0
+        for rank in batched(samples, cfg.batch_size):
+            seg_l, roi_l = _rank_backward(
+                self.roi_predictor,
+                self.segmenter,
+                cfg,
+                self.seed,
+                epoch,
+                rank,
+                self.seg_loss,
+                self.roi_loss,
+                self.soft_mask,
+                zero_grads=True,
+            )
+            clip_grad_norm(self.roi_predictor.parameters(), cfg.grad_clip)
+            clip_grad_norm(self.segmenter.parameters(), cfg.grad_clip)
+            self.opt_roi.step()
+            self.opt_seg.step()
+            seg_total += seg_l
+            roi_total += roi_l
+            steps += 1
+        result.seg_losses.append(seg_total / max(steps, 1))
+        result.roi_losses.append(roi_total / max(steps, 1))
 
     # -- data-parallel schedule (grad_accum) ----------------------------------
     def _run_accumulated(
@@ -668,13 +690,28 @@ class TrainRunner:
             if n_workers >= 2 and executor is None
             else None
         )
+        tracer = current_tracer()
         try:
             for epoch in range(cfg.epochs):
-                self._accumulate_epoch(
-                    dataset, indices, shard_specs, shard_handles, channel,
-                    epoch, n_workers, executor or pool, roi_params,
-                    seg_params, result,
+                epoch_span = (
+                    tracer.span(
+                        "train.epoch",
+                        epoch=epoch,
+                        schedule="accumulated",
+                        sequences=len(indices),
+                        workers=n_workers,
+                    )
+                    if tracer is not None
+                    else nullcontext()
                 )
+                if tracer is not None:
+                    tracer.count("train.epochs")
+                with epoch_span:
+                    self._accumulate_epoch(
+                        dataset, indices, shard_specs, shard_handles, channel,
+                        epoch, n_workers, executor or pool, roi_params,
+                        seg_params, result,
+                    )
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -832,6 +869,9 @@ class TrainRunner:
                 )
                 for shard_spec in shard_specs
             ]
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.count("train.shard_dispatches", len(futures))
         for future in futures:
             yield from future.result()
 
@@ -866,23 +906,37 @@ def run_segmentation_epochs(
     result = TrainResult()
     order = np.arange(len(samples))
     model.train()
-    for _ in range(epochs):
-        rng.shuffle(order)
-        epoch_loss = 0.0
-        num_batches = 0
-        for batch_idx in batched(list(order), batch_size):
-            frames = np.stack([samples[i][0] for i in batch_idx])
-            masks = np.stack([samples[i][1] for i in batch_idx])
-            targets = np.stack([samples[i][2] for i in batch_idx])
-            logits = model(frames, masks)
-            loss_mask = masks if supervise_sampled_only else None
-            loss = loss_fn.forward(logits, targets, mask=loss_mask)
-            model.zero_grad()
-            model.backward(loss_fn.backward())
-            clip_grad_norm(model.parameters(), grad_clip)
-            optimizer.step()
-            epoch_loss += loss
-            num_batches += 1
-        result.epoch_losses.append(epoch_loss / num_batches)
+    tracer = current_tracer()
+    for epoch in range(epochs):
+        epoch_span = (
+            tracer.span(
+                "train.epoch",
+                epoch=epoch,
+                schedule="segmentation",
+                samples=len(samples),
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        if tracer is not None:
+            tracer.count("train.epochs")
+        with epoch_span:
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            num_batches = 0
+            for batch_idx in batched(list(order), batch_size):
+                frames = np.stack([samples[i][0] for i in batch_idx])
+                masks = np.stack([samples[i][1] for i in batch_idx])
+                targets = np.stack([samples[i][2] for i in batch_idx])
+                logits = model(frames, masks)
+                loss_mask = masks if supervise_sampled_only else None
+                loss = loss_fn.forward(logits, targets, mask=loss_mask)
+                model.zero_grad()
+                model.backward(loss_fn.backward())
+                clip_grad_norm(model.parameters(), grad_clip)
+                optimizer.step()
+                epoch_loss += loss
+                num_batches += 1
+            result.epoch_losses.append(epoch_loss / num_batches)
     model.eval()
     return result

@@ -662,3 +662,108 @@ class TestREP107StoreKeys:
             """,
             "REP107",
         )
+
+
+class TestREP108ObsPlane:
+    def _lint_as(self, code: str, filename: str):
+        return [
+            f
+            for f in lint_source(textwrap.dedent(code), filename=filename)
+            if f.rule == "REP108"
+        ]
+
+    def test_wall_read_in_obs_module_fires(self):
+        found = self._lint_as(
+            """
+            import time
+
+            def sample():
+                return time.perf_counter()
+            """,
+            "src/repro/obs/tracer.py",
+        )
+        assert len(found) == 1
+        assert "wall.py" in found[0].message
+
+    def test_wall_read_in_wall_seam_passes(self):
+        assert not self._lint_as(
+            """
+            import time
+
+            def wall_now():
+                return time.perf_counter()
+            """,
+            "src/repro/obs/wall.py",
+        )
+
+    def test_wall_read_outside_obs_ignored(self):
+        # REP102's jurisdiction, not REP108's.
+        assert not self._lint_as(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            "src/repro/engine/timing.py",
+        )
+
+    def test_rep102_waiver_does_not_waive_rep108(self):
+        found = self._lint_as(
+            """
+            import time
+
+            def sample():
+                return time.perf_counter()  # repro: allow[REP102] seam
+            """,
+            "src/repro/obs/export.py",
+        )
+        assert len(found) == 1
+
+    def test_ambient_tracer_in_worker_entry_fires(self):
+        found = self._lint_as(
+            """
+            from repro.obs.tracer import current_tracer
+
+            def _file_queue_worker(job):
+                tracer = current_tracer()
+                return job, tracer
+            """,
+            "src/repro/engine/executors.py",
+        )
+        assert len(found) == 1
+        assert "capture_job" in found[0].message
+
+    def test_install_tracer_via_reexport_in_shard_job_fires(self):
+        assert self._lint_as(
+            """
+            from repro.obs import install_tracer
+
+            def _epoch_shard_job(models, shard, epoch):
+                with install_tracer(None):
+                    return shard
+            """,
+            "src/repro/training/runtime.py",
+        )
+
+    def test_capture_job_in_worker_passes(self):
+        assert not self._lint_as(
+            """
+            def _file_queue_worker(spans_path, fn, args, kwargs):
+                from repro.obs.spool import capture_job
+
+                return capture_job(spans_path, fn, args, kwargs)
+            """,
+            "src/repro/engine/executors.py",
+        )
+
+    def test_ambient_tracer_outside_worker_passes(self):
+        assert not self._lint_as(
+            """
+            from repro.obs.tracer import current_tracer
+
+            def run(self):
+                return current_tracer()
+            """,
+            "src/repro/serve/scheduler.py",
+        )
