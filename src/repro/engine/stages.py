@@ -36,6 +36,8 @@ import numpy as np
 
 from repro.engine.context import FrameContext, SequenceState
 from repro.engine.stage import Stage
+from repro.gaze.estimation import pupil_centroid_batch
+from repro.sampling import random_sampling as rs
 from repro.sampling.eventification import eventify
 from repro.sampling.roi import ROIReusePolicy, box_iou, box_to_pixels, order_box
 
@@ -222,17 +224,28 @@ class ReadoutStage(Stage):
         # batched host skips the per-token python scan: the sensor's
         # direct readout provides vectorized run-length accounting and
         # the sparse frame is rebuilt from the codes it already holds —
-        # bitwise identical to decoding the token stream.
+        # bitwise identical to decoding the token stream.  The readout
+        # itself stays per-row (held frame, noise and SRAM streams are
+        # per-sequence sensor state); the host-side rebuild stacks: the
+        # int64->float64 cast is exact and the divide/multiply are
+        # elementwise, so each row matches the scalar rebuild.
+        code_rows = []
         for ctx, seq in zip(ctxs, seqs):
-            sensor = seq.sensor
-            codes, readout, stats = sensor.readout_step_direct(
+            codes, readout, stats = seq.sensor.readout_step_direct(
                 ctx.frame, ctx.sample_mask, ctx.roi_box
             )
             ctx.readout = readout
             ctx.rle_stats = stats
-            sparse = codes.astype(np.float64) / (sensor.adc.levels - 1)
-            ctx.sparse_frame = sparse * ctx.sample_mask
-            ctx.mask = ctx.sample_mask.copy()
+            code_rows.append(codes)
+        codes = np.stack(code_rows).astype(np.float64)
+        levels = np.array(
+            [float(seq.sensor.adc.levels - 1) for seq in seqs]
+        )[:, None, None]
+        masks = np.stack([ctx.sample_mask for ctx in ctxs])
+        sparse_frames = (codes / levels) * masks
+        for i, ctx in enumerate(ctxs):
+            ctx.sparse_frame = sparse_frames[i]
+            ctx.mask = masks[i]
 
 
 class SegmentStage(Stage):
@@ -285,6 +298,29 @@ class GazeRegressStage(Stage):
             seq.slots[self.name] = est.fallback_state
         else:
             ctx.gaze_pred = est.predict(ctx.seg_pred)
+
+    def process_batch(self, ctxs, seqs) -> None:
+        # The O(B*H*W) centroid extraction stacks across the rank
+        # (integer index sums — exact, see pupil_centroid_batch); the
+        # tiny per-row regression tail runs in rank order, which also
+        # threads the fallback state exactly as the scalar loop does —
+        # both per-sequence slots and the shared-estimator regime.
+        est = self.estimator
+        from_centroid = getattr(est, "predict_from_centroid", None)
+        if from_centroid is None:
+            for ctx, seq in zip(ctxs, seqs):
+                self.process(ctx, seq)
+            return
+        centroids = pupil_centroid_batch(
+            np.stack([ctx.seg_pred for ctx in ctxs])
+        )
+        for ctx, seq, centroid in zip(ctxs, seqs, centroids):
+            if self.per_sequence_state:
+                est.fallback_state = seq.slots[self.name]
+                ctx.gaze_pred = from_centroid(centroid)
+                seq.slots[self.name] = est.fallback_state
+            else:
+                ctx.gaze_pred = from_centroid(centroid)
 
 
 class StatsCollectorStage(Stage):
@@ -348,6 +384,27 @@ class EventifyPairStage(Stage):
         else:
             ctx.event_map = eventify(ctx.prev_frame, ctx.frame, sigma=self.sigma)
 
+    def process_batch(self, ctxs, seqs) -> None:
+        # eventify is purely elementwise, so one stacked call over the
+        # rows that have a frame pair is bitwise row-equal; rows at
+        # t = 0 mark themselves skipped exactly like the scalar path.
+        live: list[FrameContext] = []
+        for ctx in ctxs:
+            if ctx.prev_frame is None:
+                ctx.skipped = True  # no pair at t = 0
+            else:
+                live.append(ctx)
+        if not live:
+            return
+        prevs = np.stack([ctx.prev_frame for ctx in live])
+        frames = np.stack([ctx.frame for ctx in live])
+        if self.sigma is None:
+            events = eventify(prevs, frames)
+        else:
+            events = eventify(prevs, frames, sigma=self.sigma)
+        for i, ctx in enumerate(live):
+            ctx.event_map = events[i]
+
 
 class StrategySampleStage(Stage):
     """Apply one Fig. 15 sampling strategy to the eventified frame.
@@ -382,6 +439,28 @@ class StrategySampleStage(Stage):
         ctx.reuse_previous = decision.reuse_previous
         ctx.stats["compression"] = decision.compression
 
+    def process_batch(self, ctxs, seqs) -> None:
+        # One template-level sample_batch call: the per-strategy kernels
+        # vectorize the mask/sparse-frame math while drawing per-row
+        # from each spawn's own stream in rank order, and the
+        # compression accounting stacks into one popcount.
+        strategies = [seq.slots[self.name] for seq in seqs]
+        frames = [ctx.frame for ctx in ctxs]
+        event_maps = [ctx.event_map for ctx in ctxs]
+        roi_boxes = [ctx.gt_box if self.use_gt_roi else None for ctx in ctxs]
+        decisions = self.strategy.sample_batch(
+            strategies, frames, event_maps, roi_boxes
+        )
+        compressions = rs.effective_compression_batch(
+            np.stack([decision.mask for decision in decisions])
+        )
+        for ctx, decision, compression in zip(ctxs, decisions, compressions):
+            ctx.mask = decision.mask
+            ctx.sparse_frame = decision.sparse_frame
+            ctx.roi_box = decision.roi_box
+            ctx.reuse_previous = decision.reuse_previous
+            ctx.stats["compression"] = compression
+
 
 class SegmentOrReuseStage(Stage):
     """Segmentation with SKIP-style reuse of the previous predicted map."""
@@ -398,3 +477,38 @@ class SegmentOrReuseStage(Stage):
         else:
             ctx.seg_pred = self.segmenter.predict(ctx.sparse_frame, ctx.mask)
         seq.prev_seg_pred = ctx.seg_pred
+
+    def process_batch(self, ctxs, seqs) -> None:
+        # Split the rank: reuse rows copy their sequence's previous map,
+        # compute rows run one stacked dense forward.  The scalar
+        # reference is the *dense* predict (not the packed ViT path), so
+        # the batched side goes through each backend's dense
+        # predict_batch — row-independent for the ViT (fixed token
+        # grid) and for the conv nets in eval mode.  Segmenters without
+        # a batched forward, or still in training mode (where batch norm
+        # couples rows through batch statistics), take the scalar loop.
+        compute: list[tuple[FrameContext, SequenceState]] = []
+        for ctx, seq in zip(ctxs, seqs):
+            if ctx.reuse_previous and seq.prev_seg_pred is not None:
+                ctx.seg_pred = seq.prev_seg_pred
+                ctx.seg_reused = True
+                seq.prev_seg_pred = ctx.seg_pred
+            else:
+                compute.append((ctx, seq))
+        if not compute:
+            return
+        batch = getattr(self.segmenter, "predict_batch", None)
+        requires_eval = getattr(self.segmenter, "predict_batch_requires_eval", True)
+        if batch is None or (
+            requires_eval and getattr(self.segmenter, "training", False)
+        ):
+            for ctx, seq in compute:
+                ctx.seg_pred = self.segmenter.predict(ctx.sparse_frame, ctx.mask)
+                seq.prev_seg_pred = ctx.seg_pred
+            return
+        frames = np.stack([ctx.sparse_frame for ctx, _ in compute])
+        masks = np.stack([ctx.mask for ctx, _ in compute])
+        segs = batch(frames, masks)
+        for i, (ctx, seq) in enumerate(compute):
+            ctx.seg_pred = segs[i]
+            seq.prev_seg_pred = segs[i]

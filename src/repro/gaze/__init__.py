@@ -5,6 +5,7 @@ from repro.gaze.estimation import (
     FittedGazeEstimator,
     GeometricGazeEstimator,
     pupil_centroid,
+    pupil_centroid_batch,
 )
 from repro.gaze.metrics import (
     AngularErrorStats,
@@ -15,6 +16,7 @@ from repro.gaze.metrics import (
 
 __all__ = [
     "pupil_centroid",
+    "pupil_centroid_batch",
     "KalmanGazeFilter",
     "FilterConfig",
     "GeometricGazeEstimator",

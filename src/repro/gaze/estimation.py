@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.synth.eye_model import SEG_CLASSES, EyeGeometry
 
-__all__ = ["pupil_centroid", "GeometricGazeEstimator", "FittedGazeEstimator"]
+__all__ = [
+    "pupil_centroid",
+    "pupil_centroid_batch",
+    "GeometricGazeEstimator",
+    "FittedGazeEstimator",
+]
 
 
 def pupil_centroid(
@@ -43,6 +48,39 @@ def pupil_centroid(
                 float((cols.mean() + 0.5) / height),
             )
     return None
+
+
+def pupil_centroid_batch(
+    segmentations: np.ndarray, min_pixels: int = 3
+) -> list[tuple[float, float] | None]:
+    """Per-row :func:`pupil_centroid` over a stacked ``(B, H, W)`` rank.
+
+    Bitwise-equal to the scalar helper: the scalar path reduces int64
+    index vectors with ``ndarray.mean``, whose float64 partial sums are
+    all integers far below 2**53 and therefore exact regardless of
+    summation order — so the batched integer index-weighted sums divide
+    to the identical float64 value.
+    """
+    if segmentations.ndim != 3:
+        raise ValueError(f"expected (B, H, W) maps, got {segmentations.shape}")
+    b, height, width = segmentations.shape
+    row_idx = np.arange(height, dtype=np.int64)[None, :, None]
+    col_idx = np.arange(width, dtype=np.int64)[None, None, :]
+    out: list[tuple[float, float] | None] = [None] * b
+    for cls in (SEG_CLASSES["pupil"], SEG_CLASSES["iris"]):
+        eq = segmentations == cls
+        counts = eq.sum(axis=(1, 2), dtype=np.int64)
+        row_sums = (eq * row_idx).sum(axis=(1, 2), dtype=np.int64)
+        col_sums = (eq * col_idx).sum(axis=(1, 2), dtype=np.int64)
+        for i in range(b):
+            if out[i] is None and counts[i] >= min_pixels:
+                mean_r = row_sums[i] / counts[i]  # int64/int64 -> float64
+                mean_c = col_sums[i] / counts[i]
+                out[i] = (
+                    float((mean_r + 0.5) / height),
+                    float((mean_c + 0.5) / height),
+                )
+    return out
 
 
 class GeometricGazeEstimator:
@@ -66,7 +104,17 @@ class GeometricGazeEstimator:
 
     def predict(self, segmentation: np.ndarray) -> tuple[float, float]:
         """Gaze ``(horizontal, vertical)`` in degrees."""
-        centroid = pupil_centroid(segmentation)
+        return self.predict_from_centroid(pupil_centroid(segmentation))
+
+    def predict_from_centroid(
+        self, centroid: tuple[float, float] | None
+    ) -> tuple[float, float]:
+        """Gaze from a precomputed centroid; None means occlusion fallback.
+
+        The seam the batched gaze stage uses: centroid extraction
+        vectorizes across the rank, while this per-row tail keeps the
+        fallback threading identical to :meth:`predict`.
+        """
         if centroid is None:
             return self._last
         gaze = self.geometry.gaze_from_pupil(*centroid)
@@ -121,7 +169,20 @@ class FittedGazeEstimator:
     def predict(self, segmentation: np.ndarray) -> tuple[float, float]:
         if self._coef is None:
             raise RuntimeError("estimator is not fitted; call fit() first")
-        centroid = pupil_centroid(segmentation)
+        return self.predict_from_centroid(pupil_centroid(segmentation))
+
+    def predict_from_centroid(
+        self, centroid: tuple[float, float] | None
+    ) -> tuple[float, float]:
+        """Gaze from a precomputed centroid; None means occlusion fallback.
+
+        The ``(3,) @ (3, 2)`` regression stays per-row on purpose: a
+        stacked BLAS call is not provably row-invariant, and the batched
+        gaze stage only needs the O(B*H*W) centroid extraction
+        (:func:`pupil_centroid_batch`) vectorized.
+        """
+        if self._coef is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
         if centroid is None:
             return self._last
         feat = np.array([centroid[0], centroid[1], 1.0])

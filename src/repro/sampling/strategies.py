@@ -127,6 +127,31 @@ class SamplingStrategy:
     ) -> SamplingDecision:
         raise NotImplementedError
 
+    def sample_batch(
+        self,
+        strategies: list["SamplingStrategy"],
+        frames: list[np.ndarray],
+        event_maps: list[np.ndarray],
+        roi_boxes: list[tuple[int, int, int, int] | None],
+    ) -> list[SamplingDecision]:
+        """Batched :meth:`sample` over one lockstep rank, bitwise row-equal.
+
+        ``strategies`` are per-sequence :meth:`spawn` clones of this
+        template, in rank order.  Overrides vectorize the mask and
+        sparse-frame math across the rank but must draw any randomness
+        per-row from each spawn's *own* generator, in rank order, so
+        every sequence's stream consumes exactly what the scalar path
+        would — that invariant is what keeps sequential, lockstep and
+        sharded execution bitwise identical.  The base implementation is
+        the per-row reference the overrides are pinned against.
+        """
+        return [
+            s.sample(frame, event_map, roi_box, s.rng)
+            for s, frame, event_map, roi_box in zip(
+                strategies, frames, event_maps, roi_boxes
+            )
+        ]
+
     def _full_frame_box(self, frame: np.ndarray) -> tuple[int, int, int, int]:
         return (0, 0, frame.shape[0], frame.shape[1])
 
@@ -140,6 +165,21 @@ class FullRandom(SamplingStrategy):
         mask = rs.random_mask(frame.shape, 1.0 / self.compression, rng)
         return SamplingDecision(mask, rs.apply_mask(frame, mask), None)
 
+    def sample_batch(self, strategies, frames, event_maps, roi_boxes):
+        rate = 1.0 / self.compression
+        # Per-row draws from each spawn's own stream, rank order — same
+        # values the scalar path would consume; the compare and the
+        # sparse multiply are elementwise, so stacking is exact.
+        draws = np.stack(
+            [s.rng.random(f.shape) for s, f in zip(strategies, frames)]
+        )
+        masks = draws < rate
+        sparse = np.stack(frames) * masks
+        return [
+            SamplingDecision(masks[i], sparse[i], None)
+            for i in range(len(strategies))
+        ]
+
 
 class FullDownsample(SamplingStrategy):
     """FULL+DS: regular-grid downsample of the entire frame."""
@@ -150,6 +190,17 @@ class FullDownsample(SamplingStrategy):
     def sample(self, frame, event_map, roi_box, rng):
         mask = rs.uniform_grid_mask(frame.shape, 1.0 / self.compression)
         return SamplingDecision(mask, rs.apply_mask(frame, mask), None)
+
+    def sample_batch(self, strategies, frames, event_maps, roi_boxes):
+        # The grid is a pure function of shape and compression: one
+        # construction serves the whole rank, one stacked multiply
+        # builds every sparse frame.
+        mask = rs.uniform_grid_mask(frames[0].shape, 1.0 / self.compression)
+        sparse = np.stack(frames) * mask
+        return [
+            SamplingDecision(mask.copy(), sparse[i], None)
+            for i in range(len(strategies))
+        ]
 
 
 class SkipStrategy(SamplingStrategy):
@@ -196,6 +247,40 @@ class SkipStrategy(SamplingStrategy):
         mask = np.ones(frame.shape, dtype=bool)
         return SamplingDecision(mask, frame.copy(), self._full_frame_box(frame))
 
+    def sample_batch(self, strategies, frames, event_maps, roi_boxes):
+        # The densities vectorize (integer popcount over the rank, then
+        # the same int/int division event_density performs); the
+        # adaptive send-rate gate is per-sequence state and stays a
+        # cheap per-row scan in rank order.  Skip draws nothing from the
+        # RNG, so stream order is not at stake.
+        events = np.stack(event_maps)
+        if events[0].size == 0:
+            raise ValueError("empty event map")
+        counts = np.count_nonzero(events, axis=(1, 2))
+        size = events[0].size
+        decisions = []
+        for s, frame, count in zip(strategies, frames, counts):
+            s._frames_seen += 1
+            target_send_rate = 1.0 / s.compression
+            sent_rate = s._frames_sent / max(1, s._frames_seen)
+            threshold = s.density_threshold * (
+                2.0 if sent_rate > target_send_rate else 0.5
+            )
+            if count / size < threshold:
+                mask = np.zeros(frame.shape, dtype=bool)
+                decisions.append(
+                    SamplingDecision(
+                        mask, np.zeros_like(frame), None, reuse_previous=True
+                    )
+                )
+            else:
+                s._frames_sent += 1
+                mask = np.ones(frame.shape, dtype=bool)
+                decisions.append(
+                    SamplingDecision(mask, frame.copy(), s._full_frame_box(frame))
+                )
+        return decisions
+
 
 class ROIDownsample(SamplingStrategy):
     """ROI+DS: regular grid restricted to the predicted ROI."""
@@ -208,6 +293,22 @@ class ROIDownsample(SamplingStrategy):
         rate = _in_roi_rate(frame.shape, box, self.compression)
         mask = rs.uniform_mask_in_box(frame.shape, box, rate)
         return SamplingDecision(mask, rs.apply_mask(frame, mask), box)
+
+    def sample_batch(self, strategies, frames, event_maps, roi_boxes):
+        # Box shapes differ per row, so the grid construction stays
+        # per-row; the sparse-frame multiply stacks across the rank.
+        boxes, masks = [], []
+        for frame, roi_box in zip(frames, roi_boxes):
+            box = roi_box or self._full_frame_box(frame)
+            boxes.append(box)
+            rate = _in_roi_rate(frame.shape, box, self.compression)
+            masks.append(rs.uniform_mask_in_box(frame.shape, box, rate))
+        stacked = np.stack(masks)
+        sparse = np.stack(frames) * stacked
+        return [
+            SamplingDecision(stacked[i], sparse[i], boxes[i])
+            for i in range(len(strategies))
+        ]
 
 
 @dataclass
@@ -233,17 +334,31 @@ class ROIFixed(SamplingStrategy):
             raise ValueError("expected a (N, H, W) stack of masks")
         self._prob_map = foreground_masks.astype(np.float64).mean(axis=0)
 
-    def sample(self, frame, event_map, roi_box, rng):
+    def _fixed_mask(self, frame_shape: tuple[int, int], frame_size: int) -> np.ndarray:
         if self._prob_map is None:
             raise RuntimeError("ROIFixed must be fit() before sampling")
-        budget = max(1, int(round(frame.size / self.compression)))
+        budget = max(1, int(round(frame_size / self.compression)))
         flat = self._prob_map.ravel()
         # Deterministic top-K by probability; ties broken by pixel index.
         top = np.argpartition(-flat, min(budget, flat.size - 1))[:budget]
-        mask = np.zeros(frame.size, dtype=bool)
+        mask = np.zeros(frame_size, dtype=bool)
         mask[top] = True
-        mask = mask.reshape(frame.shape)
+        return mask.reshape(frame_shape)
+
+    def sample(self, frame, event_map, roi_box, rng):
+        mask = self._fixed_mask(frame.shape, frame.size)
         return SamplingDecision(mask, rs.apply_mask(frame, mask), None)
+
+    def sample_batch(self, strategies, frames, event_maps, roi_boxes):
+        # The mask is a pure function of fit-time state shared by every
+        # spawn: one top-K serves the rank, one stacked multiply builds
+        # all the sparse frames.
+        mask = self._fixed_mask(frames[0].shape, frames[0].size)
+        sparse = np.stack(frames) * mask
+        return [
+            SamplingDecision(mask.copy(), sparse[i], None)
+            for i in range(len(strategies))
+        ]
 
 
 class ROILearned(SamplingStrategy):
@@ -277,12 +392,33 @@ class ROILearned(SamplingStrategy):
                 ]
         return out
 
-    def sample(self, frame, event_map, roi_box, rng):
-        box = roi_box or self._full_frame_box(frame)
-        if self.scorer is not None:
-            scores = self.scorer(frame, event_map)
-        else:
-            scores = self._default_score(frame, event_map)
+    @staticmethod
+    def _default_score_batch(event_maps: np.ndarray) -> np.ndarray:
+        """:meth:`_default_score` over a stacked ``(B, H, W)`` rank.
+
+        The dr/dc shift-accumulate runs in the identical order as the
+        scalar blur, so every float64 partial sum matches per pixel —
+        each row is bitwise-equal to the per-frame score map.
+        """
+        kernel = 5
+        pad = kernel // 2
+        padded = np.pad(
+            event_maps.astype(np.float64),
+            ((0, 0), (pad, pad), (pad, pad)),
+            mode="edge",
+        )
+        out = np.zeros(event_maps.shape, dtype=np.float64)
+        for dr in range(kernel):
+            for dc in range(kernel):
+                out += padded[
+                    :,
+                    dr : dr + event_maps.shape[1],
+                    dc : dc + event_maps.shape[2],
+                ]
+        return out
+
+    def _select(self, scores, box, frame, rng):
+        """Tie-broken top-K mask inside ``box`` — the per-row RNG seam."""
         scores = scores + rng.random(scores.shape) * 1e-9  # tie breaking
         region = np.full(frame.shape, -np.inf)
         r0, c0, r1, c1 = box
@@ -293,8 +429,41 @@ class ROILearned(SamplingStrategy):
         mask = np.zeros(frame.size, dtype=bool)
         mask[top] = True
         mask &= np.isfinite(flat)
-        mask = mask.reshape(frame.shape)
+        return mask.reshape(frame.shape)
+
+    def sample(self, frame, event_map, roi_box, rng):
+        box = roi_box or self._full_frame_box(frame)
+        if self.scorer is not None:
+            scores = self.scorer(frame, event_map)
+        else:
+            scores = self._default_score(frame, event_map)
+        mask = self._select(scores, box, frame, rng)
         return SamplingDecision(mask, rs.apply_mask(frame, mask), box)
+
+    def sample_batch(self, strategies, frames, event_maps, roi_boxes):
+        # The default box-blur scorer vectorizes over the rank; custom
+        # scorers keep their per-frame contract.  Tie-break draws and the
+        # box-restricted top-K stay per-row (own stream, varying boxes).
+        if self.scorer is not None:
+            score_rows = [
+                self.scorer(f, e) for f, e in zip(frames, event_maps)
+            ]
+        else:
+            stacked_scores = self._default_score_batch(np.stack(event_maps))
+            score_rows = list(stacked_scores)
+        boxes, masks = [], []
+        for s, frame, scores, roi_box in zip(
+            strategies, frames, score_rows, roi_boxes
+        ):
+            box = roi_box or self._full_frame_box(frame)
+            boxes.append(box)
+            masks.append(self._select(scores, box, frame, s.rng))
+        stacked = np.stack(masks)
+        sparse = np.stack(frames) * stacked
+        return [
+            SamplingDecision(stacked[i], sparse[i], boxes[i])
+            for i in range(len(strategies))
+        ]
 
 
 class ROIRandom(SamplingStrategy):
@@ -307,6 +476,23 @@ class ROIRandom(SamplingStrategy):
         rate = _in_roi_rate(frame.shape, box, self.compression)
         mask = rs.random_mask_in_box(frame.shape, box, rate, rng)
         return SamplingDecision(mask, rs.apply_mask(frame, mask), box)
+
+    def sample_batch(self, strategies, frames, event_maps, roi_boxes):
+        # Box-shaped draws stay per-row from each spawn's own stream
+        # (box sizes differ per sequence, and the draw shape must match
+        # the scalar path exactly); the sparse multiply stacks.
+        boxes, masks = [], []
+        for s, frame, roi_box in zip(strategies, frames, roi_boxes):
+            box = roi_box or self._full_frame_box(frame)
+            boxes.append(box)
+            rate = _in_roi_rate(frame.shape, box, self.compression)
+            masks.append(rs.random_mask_in_box(frame.shape, box, rate, s.rng))
+        stacked = np.stack(masks)
+        sparse = np.stack(frames) * stacked
+        return [
+            SamplingDecision(stacked[i], sparse[i], boxes[i])
+            for i in range(len(strategies))
+        ]
 
 
 STRATEGY_NAMES = [

@@ -44,6 +44,10 @@ class _ConvBlock(nn.Module):
 class RITNet(nn.Module):
     """U-Net segmenter; logits returned as ``(B, H, W, K)``."""
 
+    #: Training-mode batch norm couples rows through batch statistics,
+    #: so the engine only batches ``predict_batch`` on eval-mode nets.
+    predict_batch_requires_eval = True
+
     def __init__(
         self,
         rng: np.random.Generator,
@@ -104,6 +108,16 @@ class RITNet(nn.Module):
         """Single frame -> integer segmentation map."""
         logits = self.forward(frame[None], mask[None])
         return np.argmax(logits[0], axis=-1)
+
+    def predict_batch(self, frames: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Batched :meth:`predict` over ``(B, H, W)`` stacks, bitwise row-equal.
+
+        Same contract as ``EdGazeNet.predict_batch``: the U-Net trunk is
+        row-independent in eval mode (per-sample conv GEMMs, frozen batch
+        norm, per-pixel argmax), so each row matches the per-frame call.
+        Only valid on eval-mode networks.
+        """
+        return np.argmax(self.forward(frames, masks), axis=-1)
 
     def mac_count(self, height: int, width: int) -> int:
         """MACs for one dense frame (CNN cost does not shrink with sparsity)."""

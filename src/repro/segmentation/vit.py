@@ -78,6 +78,11 @@ class ViTConfig:
 class ViTSegmenter(nn.Module):
     """Sparse-input ViT segmentation network with full backprop."""
 
+    #: The forward has no batch-coupled modules (LayerNorm and masked
+    #: attention are per-row regardless of ``training``), so the engine
+    #: may batch ``predict_batch`` even on a net still in training mode.
+    predict_batch_requires_eval = False
+
     def __init__(self, config: ViTConfig, rng: np.random.Generator):
         super().__init__()
         self.config = config
@@ -198,6 +203,19 @@ class ViTSegmenter(nn.Module):
         """Single sparse frame -> integer segmentation map (argmax layer)."""
         logits = self.forward(frame[None], mask[None])
         return np.argmax(logits[0], axis=-1)
+
+    def predict_batch(self, frames: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Dense :meth:`predict` over a ``(B, H, W)`` rank, bitwise row-equal.
+
+        One stacked dense forward: every row keeps the full token grid,
+        so the rank is a single fixed-shape group — the same
+        row-independence property :meth:`predict_packed_batch` exploits
+        per valid-token-count group (see its caveat on BLAS behaviour).
+        The strategy graph's segment-or-reuse stage batches through this
+        because its scalar reference is the dense :meth:`predict`, not
+        the packed path.
+        """
+        return np.argmax(self.forward(frames, masks), axis=-1)
 
     def forward_packed(
         self, frame: np.ndarray, mask: np.ndarray

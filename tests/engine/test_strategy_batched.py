@@ -1,0 +1,117 @@
+"""Bitwise parity of the batched strategy-graph kernels (Fig. 15 harness).
+
+The strategy graph's stages (eventify-pair, strategy-sample,
+segment-or-reuse, gaze-regress) grew true ``process_batch`` kernels; this
+module pins batched == sequential == sharded for **every** registered
+strategy — including the stochastic ones (Full+Random, ROI+Learned
+tie-breaks, ROI+Random) and the stateful SKIP gate — across batch widths
+{1, partial, full-rank}, and for all three segmentation backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.variants import evaluate_strategy, make_strategy
+from repro.engine.stage import Stage
+from repro.engine.stages import (
+    EventifyPairStage,
+    GazeRegressStage,
+    SegmentOrReuseStage,
+    StrategySampleStage,
+)
+from repro.sampling.strategies import STRATEGY_NAMES
+from repro.segmentation.edgaze import EdGazeNet
+from repro.segmentation.ritnet import RITNet
+from repro.segmentation.vit import ViTConfig, ViTSegmenter
+from repro.synth.dataset import DatasetConfig, SyntheticEyeDataset
+
+COMPRESSION = 4.0
+EVAL_IDX = [0, 1, 2, 3]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticEyeDataset(
+        DatasetConfig(
+            height=32, width=32, frames_per_sequence=6, num_sequences=4,
+            eye_scale=0.8,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def vit():
+    return ViTSegmenter(
+        ViTConfig(height=32, width=32, patch=8, dim=24, heads=3,
+                  depth=1, decoder_depth=1),
+        np.random.default_rng(0),
+    )
+
+
+def _run(strategy_name, dataset, segmenter, **kwargs):
+    strategy = make_strategy(strategy_name, COMPRESSION, dataset=dataset)
+    rng = np.random.default_rng(int(np.random.default_rng(7).integers(2**32)))
+    return evaluate_strategy(
+        strategy, segmenter, dataset, EVAL_IDX, rng, **kwargs
+    )
+
+
+def _assert_same(a, b, label):
+    assert a.horizontal == b.horizontal, label
+    assert a.vertical == b.vertical, label
+    assert a.mean_compression == b.mean_compression, label
+    assert a.frames == b.frames, label
+
+
+class TestBatchedStagesRegistered:
+    def test_strategy_stages_override_process_batch(self):
+        """The strategy graph must not fall back to the per-row base loop."""
+        for stage_cls in (
+            EventifyPairStage,
+            StrategySampleStage,
+            SegmentOrReuseStage,
+            GazeRegressStage,
+        ):
+            assert stage_cls.process_batch is not Stage.process_batch
+
+
+class TestStrategyGraphParity:
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_batched_and_sharded_equal_sequential(self, name, dataset, vit):
+        """batched == sequential == sharded, bitwise, per strategy —
+        across batch widths 1 (degenerate rank), 3 (partial rank) and
+        full-rank lockstep."""
+        ref = _run(name, dataset, vit)
+        for kwargs in (
+            {"batched": True, "batch_size": 1},
+            {"batched": True, "batch_size": 3},
+            {"batched": True},
+            {"workers": 2},
+        ):
+            _assert_same(ref, _run(name, dataset, vit, **kwargs), (name, kwargs))
+
+
+class TestDenseBackendParity:
+    @pytest.mark.parametrize("net_cls", [EdGazeNet, RITNet])
+    def test_dense_backend_batched_equals_sequential(
+        self, net_cls, dataset
+    ):
+        """Eval-mode conv backends ride predict_batch through the
+        segment-or-reuse stage; SKIP exercises the reuse/compute split."""
+        net = net_cls(np.random.default_rng(3), base_channels=4).eval()
+        for name in ("Skip", "Ours (ROI+Random)"):
+            ref = _run(name, dataset, net)
+            _assert_same(ref, _run(name, dataset, net, batched=True), name)
+
+    @pytest.mark.parametrize("net_cls", [EdGazeNet, RITNet])
+    def test_training_mode_falls_back_per_row(self, net_cls, dataset):
+        """A net still in training mode must not be batch-stacked (batch
+        norm would couple rows) — the stage's per-row fallback keeps the
+        run bitwise-equal to sequential even then."""
+        def fresh():
+            return net_cls(np.random.default_rng(3), base_channels=4)
+
+        assert fresh().training  # fresh nets start in training mode
+        ref = _run("Ours (ROI+Random)", dataset, fresh())
+        bat = _run("Ours (ROI+Random)", dataset, fresh(), batched=True)
+        _assert_same(ref, bat, net_cls.__name__)

@@ -239,3 +239,111 @@ class TestSpawn:
         frame, event, box = _fixture_frame()
         decision = clone.sample(frame, event, box, clone.rng)
         assert decision.transmitted_pixels == 64
+
+
+def _make_template(cls):
+    if cls is ROIFixed:
+        template = ROIFixed(compression=4.0)
+        template.fit(np.random.default_rng(9).random((6, *SHAPE)) > 0.5)
+        return template
+    return cls(compression=4.0)
+
+
+_ALL_STRATEGY_CLASSES = [
+    FullRandom,
+    FullDownsample,
+    SkipStrategy,
+    ROIDownsample,
+    ROIFixed,
+    ROILearned,
+    ROIRandom,
+]
+
+
+class TestSampleBatch:
+    """``sample_batch`` == a per-row ``sample`` loop, bitwise, per strategy.
+
+    Two independent spawn sets with identical keys play the roles of the
+    sequential and the lockstep run; several steps per rank verify that
+    both RNG stream positions and adaptive state (SKIP's gate) advance
+    identically.
+    """
+
+    B = 5
+    STEPS = 3
+
+    def _rank(self):
+        rng = np.random.default_rng(17)
+        frames = [rng.random(SHAPE) for _ in range(self.B)]
+        events = [rng.random(SHAPE) > 0.9 for _ in range(self.B)]
+        boxes = [
+            (12, 12, 36, 36),
+            None,
+            (0, 0, *SHAPE),
+            (5, 20, 30, 44),
+            (8, 8, 40, 40),
+        ]
+        return frames, events, boxes
+
+    @pytest.mark.parametrize("cls", _ALL_STRATEGY_CLASSES)
+    def test_batch_matches_per_row_loop(self, cls):
+        template = _make_template(cls)
+        frames, events, boxes = self._rank()
+        scalar = [template.spawn([7, i]) for i in range(self.B)]
+        batched = [template.spawn([7, i]) for i in range(self.B)]
+        for _ in range(self.STEPS):
+            ref = [
+                s.sample(f, e, b, s.rng)
+                for s, f, e, b in zip(scalar, frames, events, boxes)
+            ]
+            got = template.sample_batch(batched, frames, events, boxes)
+            for r, g in zip(ref, got):
+                assert np.array_equal(r.mask, g.mask)
+                assert np.array_equal(r.sparse_frame, g.sparse_frame)
+                assert r.roi_box == g.roi_box
+                assert r.reuse_previous == g.reuse_previous
+                assert r.compression == g.compression
+
+    def test_skip_batch_threads_adaptive_state(self):
+        """A mixed quiet/busy rank must advance every spawn's gate the
+        way the scalar loop would."""
+        frames, _, boxes = self._rank()
+        quiet = np.zeros(SHAPE, dtype=bool)
+        busy = np.ones(SHAPE, dtype=bool)
+        events = [quiet, busy, quiet, busy, busy]
+        template = SkipStrategy(compression=4.0)
+        scalar = [template.spawn([3, i]) for i in range(self.B)]
+        batched = [template.spawn([3, i]) for i in range(self.B)]
+        for _ in range(4):
+            ref = [
+                s.sample(f, e, b, s.rng)
+                for s, f, e, b in zip(scalar, frames, events, boxes)
+            ]
+            got = template.sample_batch(batched, frames, events, boxes)
+            for r, g, a, b in zip(ref, got, scalar, batched):
+                assert r.reuse_previous == g.reuse_previous
+                assert a._frames_seen == b._frames_seen
+                assert a._frames_sent == b._frames_sent
+
+    def test_custom_scorer_stays_per_row(self):
+        """ROI+Learned with a plugged scorer keeps the per-frame scorer
+        contract (one call per row) and still matches the scalar loop."""
+        frames, events, boxes = self._rank()
+        calls = []
+
+        def scorer(frame, event_map):
+            calls.append(frame.shape)
+            return event_map.astype(np.float64)
+
+        template = ROILearned(compression=4.0, scorer=scorer)
+        scalar = [template.spawn([5, i]) for i in range(self.B)]
+        batched = [template.spawn([5, i]) for i in range(self.B)]
+        ref = [
+            s.sample(f, e, b, s.rng)
+            for s, f, e, b in zip(scalar, frames, events, boxes)
+        ]
+        calls.clear()
+        got = template.sample_batch(batched, frames, events, boxes)
+        assert len(calls) == self.B
+        for r, g in zip(ref, got):
+            assert np.array_equal(r.mask, g.mask)

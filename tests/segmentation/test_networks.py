@@ -135,6 +135,49 @@ class TestCNNBaselines:
         assert vit.mac_count(sparse_tokens) < rit.mac_count(64, 64)
 
 
+class TestPredictBatchInvariance:
+    """``predict_batch`` rows == per-frame ``predict``, bitwise.
+
+    Mirrors the ROI predictor's ``TestBatchInvariance``: the batched
+    dense forwards must be row-independent so the strategy graph's
+    segment-or-reuse stage can stack the rank without changing any row.
+    """
+
+    B = 5
+
+    def _inputs(self):
+        rng = np.random.default_rng(11)
+        frames = rng.random((self.B, 32, 32))
+        masks = rng.random((self.B, 32, 32)) < 0.25
+        return frames * masks, masks
+
+    @pytest.mark.parametrize("cls", [EdGazeNet, RITNet])
+    def test_cnn_batch_matches_per_frame(self, cls):
+        model = cls(np.random.default_rng(7), base_channels=4).eval()
+        frames, masks = self._inputs()
+        batched = model.predict_batch(frames, masks)
+        assert batched.shape == frames.shape
+        for i in range(self.B):
+            solo = model.predict(frames[i], masks[i])
+            assert np.array_equal(batched[i], solo)
+
+    def test_vit_dense_batch_matches_per_frame(self):
+        model = tiny_vit()
+        frames, masks = self._inputs()
+        batched = model.predict_batch(frames, masks)
+        for i in range(self.B):
+            solo = model.predict(frames[i], masks[i])
+            assert np.array_equal(batched[i], solo)
+
+    @pytest.mark.parametrize("cls", [EdGazeNet, RITNet])
+    def test_requires_eval_contract(self, cls):
+        """Conv nets declare the eval-mode requirement the engine's
+        segment stage keys its training-mode fallback on; the ViT's
+        forward has no batch-coupled modules and opts out."""
+        assert cls.predict_batch_requires_eval
+        assert not ViTSegmenter.predict_batch_requires_eval
+
+
 class TestMetrics:
     def test_perfect_prediction(self):
         seg = RNG.integers(0, 4, size=(16, 16))
